@@ -1,0 +1,216 @@
+package anduril
+
+// The benchmarks in this file regenerate every table and figure of the
+// paper's evaluation (§8 + appendix) and print them, so that
+//
+//	go test -bench=. -benchmem
+//
+// produces the full experimental record (see EXPERIMENTS.md for the
+// measured-vs-paper comparison). Each benchmark also reports headline
+// numbers as custom metrics: "reproduced" (failures reproduced) and
+// "med_rounds" (median rounds to reproduction) where applicable.
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+
+	"anduril/internal/core"
+	"anduril/internal/eval"
+	"anduril/internal/failures"
+)
+
+var benchOpt = eval.Options{Seed: 1, MaxRounds: 500}
+
+var printOnce sync.Map
+
+// emit prints a table once per benchmark name (b.N loops would repeat it).
+func emit(name string, t *eval.Table) {
+	if _, loaded := printOnce.LoadOrStore(name, true); !loaded {
+		fmt.Printf("\n%s\n", t.Render())
+	}
+}
+
+func reproStats(t *eval.Table, roundCol int) (reproduced int, medRounds float64) {
+	var rounds []int
+	for _, row := range t.Rows {
+		if roundCol >= len(row) || row[roundCol] == "-" {
+			continue
+		}
+		if n, err := strconv.Atoi(row[roundCol]); err == nil {
+			reproduced++
+			rounds = append(rounds, n)
+		}
+	}
+	if len(rounds) == 0 {
+		return reproduced, 0
+	}
+	sort.Ints(rounds)
+	return reproduced, float64(rounds[len(rounds)/2])
+}
+
+// BenchmarkTable1FaultSites regenerates Table 1 (systems and fault sites).
+func BenchmarkTable1FaultSites(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := eval.Table1FaultSites(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("table1", t)
+	}
+}
+
+// BenchmarkTable2Efficacy regenerates Table 2 (the headline result): every
+// strategy against every failure.
+func BenchmarkTable2Efficacy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := eval.Table2Efficacy(benchOpt, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("table2", t)
+		reproduced, med := reproStats(t, 1) // full-feedback columns
+		b.ReportMetric(float64(reproduced), "reproduced")
+		b.ReportMetric(med, "med_rounds")
+	}
+}
+
+// BenchmarkTable3Sensitivity regenerates Table 3 (window size k and
+// adjustment s sensitivity).
+func BenchmarkTable3Sensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := eval.Table3Sensitivity(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("table3", t)
+	}
+}
+
+// BenchmarkTable4Performance regenerates Table 4 (per-system explorer
+// performance medians).
+func BenchmarkTable4Performance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := eval.Table4Performance(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("table4", t)
+	}
+}
+
+// BenchmarkTable5StackTrace regenerates appendix Table 5 (dataset plus the
+// stacktrace-injector baseline).
+func BenchmarkTable5StackTrace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := eval.Table5Failures(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("table5", t)
+		reproduced, _ := reproStats(t, 2)
+		b.ReportMetric(float64(reproduced), "reproduced")
+	}
+}
+
+// BenchmarkTable6NewRootCauses regenerates appendix Table 6 (new root
+// causes discovered while reproducing).
+func BenchmarkTable6NewRootCauses(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := eval.Table6NewRootCauses(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("table6", t)
+		b.ReportMetric(float64(len(t.Rows)), "new_causes")
+	}
+}
+
+// BenchmarkTable7StaticAnalysis regenerates appendix Table 7 (static
+// analysis cost breakdown).
+func BenchmarkTable7StaticAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := eval.Table7StaticAnalysis(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("table7", t)
+	}
+}
+
+// BenchmarkTable8Runtime regenerates appendix Table 8 (per-failure runtime
+// details).
+func BenchmarkTable8Runtime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := eval.Table8Runtime(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("table8", t)
+	}
+}
+
+// BenchmarkFigure6RankTrajectory regenerates Figure 6 (root-cause site
+// rank across trials) for ZK-3006, whose window-1 trajectory is long
+// enough to see the search traverse wrong candidates first.
+func BenchmarkFigure6RankTrajectory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := eval.Figure6RankTrajectory(benchOpt, "f4")
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("figure6", t)
+		b.ReportMetric(float64(len(t.Rows)), "trials")
+	}
+}
+
+// BenchmarkAblations evaluates every design-choice toggle of §5.1-§5.2.5
+// over the whole dataset (see eval.AblationTable): min vs sum aggregation,
+// log-distance vs order temporal priority, doubling vs fixed window, and
+// per-thread vs global diff.
+func BenchmarkAblations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := eval.AblationTable(benchOpt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emit("ablations", t)
+	}
+}
+
+// BenchmarkFreeRun measures the cost of one workload round per system —
+// the unit of every explorer trial.
+func BenchmarkFreeRun(b *testing.B) {
+	for _, id := range []string{"f1", "f5", "f17", "f18", "f21"} {
+		s, _ := failures.ByID(id)
+		b.Run(s.System, func(b *testing.B) {
+			tgt, err := s.BuildTarget()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				core.Reproduce(tgt, core.Options{Strategy: core.FullFeedback, Seed: int64(i), MaxRounds: 1})
+			}
+		})
+	}
+}
+
+// BenchmarkReproduceMotivating measures an end-to-end reproduction of the
+// motivating example (HB-25905).
+func BenchmarkReproduceMotivating(b *testing.B) {
+	s, _ := failures.ByID("f17")
+	tgt, err := s.BuildTarget()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := core.Reproduce(tgt, core.Options{Strategy: core.FullFeedback, Seed: int64(i + 1), MaxRounds: 500})
+		if !rep.Reproduced {
+			b.Fatalf("iteration %d: not reproduced", i)
+		}
+	}
+}

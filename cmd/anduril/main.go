@@ -1,0 +1,137 @@
+// Command anduril reproduces one of the dataset failures from the command
+// line, printing per-round progress and the final deterministic
+// reproduction script.
+//
+// Usage:
+//
+//	anduril -list
+//	anduril -failure f17 [-strategy full-feedback] [-seed 1] [-max-rounds 500] [-window 10] [-adjust 1] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"anduril"
+	"anduril/internal/core"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list the dataset failures and exit")
+		failure   = flag.String("failure", "", "dataset failure to reproduce (f1..f22 or issue id)")
+		strategy  = flag.String("strategy", string(anduril.FullFeedback), "exploration strategy")
+		seed      = flag.Int64("seed", 1, "master seed (round r runs with seed+r)")
+		maxRounds = flag.Int("max-rounds", 500, "round cap (the paper's 24-hour analog)")
+		window    = flag.Int("window", 10, "initial flexible-window size k")
+		adjust    = flag.Int("adjust", 1, "observable priority adjustment s")
+		verbose   = flag.Bool("v", false, "print every round")
+		iterative = flag.Int("iterative", 0, "search for up to N causally-independent faults")
+		scriptOut = flag.String("script-out", "", "write the reproduction script as JSON to this file")
+		dotOut    = flag.String("graph-dot", "", "write the static causal graph (Graphviz) to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-5s %-10s %-11s %s\n", "id", "issue", "system", "description")
+		for _, info := range anduril.DatasetCatalog() {
+			fmt.Printf("%-5s %-10s %-11s %s\n", info.ID, info.Issue, info.System, info.Description)
+		}
+		return
+	}
+	if *failure == "" {
+		fmt.Fprintln(os.Stderr, "anduril: -failure or -list required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	target, err := anduril.Dataset(*failure)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "anduril: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("reproducing %s (%s) on %s: %s\n", target.ID, target.Issue, target.System, target.Description)
+
+	if *dotOut != "" {
+		dot := target.Analysis.Graph.DOT(target.ID, 400)
+		if err := os.WriteFile(*dotOut, []byte(dot), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "anduril: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("causal graph written to %s (%d nodes, %d edges)\n",
+			*dotOut, target.Analysis.Graph.NumNodes(), target.Analysis.Graph.NumEdges())
+	}
+
+	if *iterative > 1 {
+		iter := anduril.ReproduceIterative(target, anduril.Options{
+			Strategy: anduril.Strategy(*strategy), Seed: *seed,
+			MaxRounds: *maxRounds, Window: *window, Adjust: *adjust,
+		}, *iterative)
+		if !iter.Reproduced {
+			fmt.Printf("NOT reproduced after %d passes\n", len(iter.Reports))
+			os.Exit(1)
+		}
+		fmt.Printf("REPRODUCED with %d faults: %v\n", len(iter.Scripts), iter.Scripts)
+		if *scriptOut != "" {
+			writeScript(*scriptOut, func() (*core.ScriptFile, error) { return core.ScriptOfIter(iter) })
+		}
+		return
+	}
+
+	report := anduril.Reproduce(target, anduril.Options{
+		Strategy:  anduril.Strategy(*strategy),
+		Seed:      *seed,
+		MaxRounds: *maxRounds,
+		Window:    *window,
+		Adjust:    *adjust,
+		TrackRank: true,
+	})
+
+	fmt.Printf("free run: %d log lines, %d relevant observables, %d candidate sites, %d candidate instances\n",
+		report.FreeRunLogLines, report.RelevantObservables, report.CandidateSites, report.CandidateInstances)
+	if *verbose {
+		for _, rd := range report.RoundLog {
+			injected := "no candidate occurred (window doubled)"
+			if rd.Injected != nil {
+				injected = fmt.Sprintf("injected %s#%d", rd.Injected.Site, rd.Injected.Occurrence)
+			}
+			fmt.Printf("  round %3d: window=%d rank(root)=%d %s satisfied=%v\n",
+				rd.N, rd.WindowSize, rd.RootRank, injected, rd.Satisfied)
+		}
+	}
+
+	if !report.Reproduced {
+		fmt.Printf("NOT reproduced after %d rounds (%.2fs)\n", report.Rounds, report.Elapsed.Seconds())
+		os.Exit(1)
+	}
+	fmt.Printf("REPRODUCED in %d rounds (%.2fs)\n", report.Rounds, report.Elapsed.Seconds())
+	fmt.Println(anduril.Script(report))
+
+	if anduril.Verify(target, *report.Script, report.ScriptSeed) {
+		fmt.Println("script verified: deterministic replay satisfies the oracle")
+	} else {
+		fmt.Println("warning: script replay did not satisfy the oracle under a fresh seed")
+	}
+	if *scriptOut != "" {
+		writeScript(*scriptOut, func() (*core.ScriptFile, error) { return core.ScriptOf(report) })
+	}
+}
+
+func writeScript(path string, build func() (*core.ScriptFile, error)) {
+	script, err := build()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "anduril: %v\n", err)
+		os.Exit(1)
+	}
+	data, err := script.Marshal()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "anduril: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "anduril: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("reproduction script written to %s\n", path)
+}

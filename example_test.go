@@ -1,0 +1,57 @@
+package anduril_test
+
+import (
+	"fmt"
+
+	"anduril"
+)
+
+// ExampleReproduce reproduces a dataset failure with the default
+// full-feedback explorer.
+func ExampleReproduce() {
+	target, err := anduril.Dataset("f22") // C*-6415: snapshot repair blocks forever
+	if err != nil {
+		panic(err)
+	}
+	report := anduril.Reproduce(target, anduril.Options{Seed: 1})
+	fmt.Println("reproduced:", report.Reproduced)
+	fmt.Println("root cause:", report.Script.Site)
+	// Output:
+	// reproduced: true
+	// root cause: cs.repair.make-snapshot
+}
+
+// ExampleVerify replays a reproduction script deterministically.
+func ExampleVerify() {
+	target, _ := anduril.Dataset("f19") // KA-9374: blocked connectors disable the worker
+	report := anduril.Reproduce(target, anduril.Options{Seed: 1})
+	ok := anduril.Verify(target, *report.Script, report.ScriptSeed)
+	fmt.Println("script verifies:", ok)
+	// Output:
+	// script verifies: true
+}
+
+// ExampleDatasetCatalog lists part of the 22-failure dataset.
+func ExampleDatasetCatalog() {
+	for _, info := range anduril.DatasetCatalog()[:3] {
+		fmt.Printf("%s %s (%s)\n", info.ID, info.Issue, info.System)
+	}
+	// Output:
+	// f1 ZK-2247 (zk)
+	// f2 ZK-3157 (zk)
+	// f3 ZK-4203 (zk)
+}
+
+// ExampleReproduce_strategy runs a comparison baseline instead of the full
+// feedback algorithm.
+func ExampleReproduce_strategy() {
+	target, _ := anduril.Dataset("f16") // HB-16144: orphaned replication-queue lock
+	report := anduril.Reproduce(target, anduril.Options{
+		Strategy:  anduril.CrashTuner,
+		Seed:      1,
+		MaxRounds: 100,
+	})
+	fmt.Println("crashtuner reproduced:", report.Reproduced)
+	// Output:
+	// crashtuner reproduced: false
+}

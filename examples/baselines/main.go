@@ -1,0 +1,44 @@
+// Baselines compares ANDURIL's full feedback algorithm against the
+// ablation variants and the coverage-oriented baselines on one failure —
+// a single-row slice of the paper's Table 2.
+//
+//	go run ./examples/baselines [failure-id]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"anduril"
+)
+
+func main() {
+	id := "f16" // HB-16144, the paper's hardest case
+	if len(os.Args) > 1 {
+		id = os.Args[1]
+	}
+	target, err := anduril.Dataset(id)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("failure: %s (%s) — %s\n\n", target.ID, target.Issue, target.Description)
+	fmt.Printf("%-22s %8s %10s %8s\n", "strategy", "rounds", "time", "found")
+
+	strategies := []anduril.Strategy{
+		anduril.FullFeedback, anduril.Exhaustive, anduril.SiteDistance,
+		anduril.SiteDistanceLimit, anduril.SiteFeedback, anduril.MultiplyFeedback,
+		anduril.FATE, anduril.CrashTuner, anduril.StackTrace, anduril.Random,
+	}
+	for _, s := range strategies {
+		report := anduril.Reproduce(target, anduril.Options{
+			Strategy: s, Seed: 1, MaxRounds: 500,
+		})
+		rounds, found := "-", "no"
+		if report.Reproduced {
+			rounds = fmt.Sprint(report.Rounds)
+			found = fmt.Sprintf("%s#%d", report.Script.Site, report.Script.Occurrence)
+		}
+		fmt.Printf("%-22s %8s %9.0fms %8s\n", s, rounds, report.Elapsed.Seconds()*1000, found)
+	}
+}

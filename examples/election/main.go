@@ -1,0 +1,67 @@
+// Election demonstrates driving a target system directly on the simulated
+// substrate: boot the ZooKeeper-like ensemble, watch a healthy election,
+// then inject the ZK-4203 fault by hand and watch the election wedge.
+// This is the layer ANDURIL's explorer automates.
+//
+//	go run ./examples/election
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"anduril/internal/cluster"
+	"anduril/internal/inject"
+	"anduril/internal/sys/zk"
+)
+
+func main() {
+	fmt.Println("=== healthy election ===")
+	free := cluster.Execute(7, nil, true, zk.WorkloadElection, zk.Horizon)
+	printInteresting(free, 8)
+	fmt.Printf("fault sites exercised: %d distinct, %d total reaches\n\n",
+		len(free.Counts), totalReaches(free))
+
+	// Find the first election connection accepted by the would-be leader
+	// (zk3) in the trace — the root-cause instance of ZK-4203.
+	var root inject.Instance
+	occ := 0
+	for _, ev := range free.Trace {
+		if ev.Site == "zk.election.accept-connection" {
+			occ++
+			if strings.HasPrefix(ev.Thread, "zk3-") {
+				root = inject.Instance{Site: ev.Site, Occurrence: ev.Occurrence}
+				break
+			}
+		}
+	}
+	fmt.Printf("=== injecting %s at occurrence %d (on zk3, before it tallies a quorum) ===\n",
+		root.Site, root.Occurrence)
+	broken := cluster.Execute(7, inject.Exact(root), false, zk.WorkloadElection, zk.Horizon)
+	printInteresting(broken, 10)
+	fmt.Printf("leader ever served: %v — the election is stuck forever, as in ZK-4203\n",
+		broken.LogContains("Leader is serving epoch"))
+}
+
+func printInteresting(r *cluster.Result, n int) {
+	shown := 0
+	for _, e := range r.Entries {
+		if e.Level < 1 { // skip debug
+			continue
+		}
+		fmt.Printf("  [%s] %s\n", e.Thread, e.Msg)
+		shown++
+		if shown >= n {
+			fmt.Printf("  ... (%d more lines)\n", len(r.Entries)-shown)
+			break
+		}
+	}
+}
+
+func totalReaches(r *cluster.Result) int {
+	total := 0
+	for _, n := range r.Counts {
+		total += n
+	}
+	return total
+}

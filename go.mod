@@ -1,0 +1,3 @@
+module anduril
+
+go 1.22

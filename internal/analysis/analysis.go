@@ -1,0 +1,171 @@
+// Package analysis is ANDURIL's Instrumenter retargeted to Go (§4).
+//
+// The original builds a static causal graph from JVM bytecode with Soot.
+// Here the target systems are Go packages, so the analyzer parses their
+// source with go/parser and reasons about the Go idioms that play the role
+// of the JVM constructs:
+//
+//   - fault sites are calls into the simulated environment (Disk/Net
+//     methods, FI.Reach) carrying a constant site-ID string — the analog of
+//     library calls that may throw (external-exception nodes);
+//   - `if err != nil { ... }` blocks are the catch blocks (handler nodes),
+//     and the calls whose error was assigned to err are the throw sites;
+//   - error-returning functions propagate faults to their callers
+//     (internal-exception nodes), computed as a fixpoint over the call
+//     graph — the interprocedural exception analysis of §4.1;
+//   - cross-actor propagation flows through the simnet RPC idiom: a fault
+//     escaping a message handler reaches the sender's continuation via
+//     respond(err), matched by the constant message-type string — the
+//     analog of the paper's Callable/Future analysis;
+//   - other if-conditions become condition nodes whose causally-prior
+//     statements are found by Pensieve-style jumping: any assignment in the
+//     package set to a variable or field with the same name.
+//
+// The product is the causal graph of §4.1: source nodes are injectable
+// fault sites, sink nodes are log statements.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"anduril/internal/graph"
+	"anduril/internal/inject"
+)
+
+// SiteInfo describes one static fault site found in the source.
+type SiteInfo struct {
+	ID   string
+	Kind inject.Kind
+	File string
+	Line int
+	Func string
+}
+
+// LogInfo describes one log statement found in the source.
+type LogInfo struct {
+	Template string
+	File     string
+	Line     int
+	Func     string
+}
+
+// Timing breaks down where analysis time went — the columns of Table 7.
+type Timing struct {
+	Exception time.Duration // interprocedural error-flow fixpoint
+	Slicing   time.Duration // condition slicing (jump-strategy indexing)
+	Chaining  time.Duration // causal-chain/graph assembly
+	Total     time.Duration
+}
+
+// Result is the full output of analyzing one target system.
+type Result struct {
+	Graph  *graph.Graph
+	Sites  []SiteInfo
+	Logs   []LogInfo
+	LOC    int
+	Timing Timing
+
+	siteKinds map[string]inject.Kind
+}
+
+// SiteKind returns the fault kind of a static site.
+func (r *Result) SiteKind(id string) (inject.Kind, bool) {
+	k, ok := r.siteKinds[id]
+	return k, ok
+}
+
+// RepoRoot locates the module root so callers can hand source directories
+// to AnalyzePackages from tests and binaries alike.
+func RepoRoot() string {
+	_, file, _, ok := runtime.Caller(0)
+	if !ok {
+		return "."
+	}
+	// file = <root>/internal/analysis/analysis.go
+	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
+}
+
+// AnalyzePackages parses every non-test Go file in the given directories
+// (relative to the repo root or absolute) and builds the causal graph.
+func AnalyzePackages(dirs []string) (*Result, error) {
+	start := time.Now()
+	fset := token.NewFileSet()
+	var files []*ast.File
+	loc := 0
+	for _, dir := range dirs {
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(RepoRoot(), dir)
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || filepath.Ext(name) != ".go" || isTestFile(name) {
+				continue
+			}
+			path := filepath.Join(dir, name)
+			f, err := parser.ParseFile(fset, path, nil, 0)
+			if err != nil {
+				return nil, fmt.Errorf("analysis: parse %s: %w", path, err)
+			}
+			files = append(files, f)
+			loc += fset.File(f.Pos()).LineCount()
+		}
+	}
+
+	a := newAnalyzer(fset)
+	for _, f := range files {
+		a.collect(f)
+	}
+
+	// Slicing index: assignments by name (the jump-strategy table).
+	sliceStart := time.Now()
+	a.indexAssignments()
+	slicing := time.Since(sliceStart)
+
+	// Exception analysis: escape fixpoint.
+	excStart := time.Now()
+	a.computeEscapes()
+	exception := time.Since(excStart)
+
+	// Chaining: emit the causal graph.
+	chainStart := time.Now()
+	g := a.buildGraph()
+	chaining := time.Since(chainStart)
+
+	res := &Result{
+		Graph:     g,
+		Sites:     a.siteList(),
+		Logs:      a.logList(),
+		LOC:       loc,
+		siteKinds: a.siteKinds,
+	}
+	res.Timing = Timing{
+		Exception: exception,
+		Slicing:   slicing,
+		Chaining:  chaining,
+		Total:     time.Since(start),
+	}
+	sort.Slice(res.Sites, func(i, j int) bool { return res.Sites[i].ID < res.Sites[j].ID })
+	sort.Slice(res.Logs, func(i, j int) bool {
+		if res.Logs[i].File != res.Logs[j].File {
+			return res.Logs[i].File < res.Logs[j].File
+		}
+		return res.Logs[i].Line < res.Logs[j].Line
+	})
+	return res, nil
+}
+
+func isTestFile(name string) bool {
+	return len(name) > len("_test.go") && name[len(name)-len("_test.go"):] == "_test.go"
+}

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"regexp"
+	"strings"
+
+	"anduril/internal/logdiff"
+)
+
+// Matcher maps rendered (and sanitized) log messages back to the static
+// log templates they came from. The explorer needs this to tie observables
+// from a production log file — where only rendered text is available — to
+// sink nodes in the causal graph.
+type Matcher struct {
+	templates []templatePattern
+}
+
+type templatePattern struct {
+	template string
+	prefix   string   // sanitized literal before the first verb
+	parts    []string // sanitized literal segments between verbs
+	exact    bool     // no format verbs at all
+}
+
+var verbRe = regexp.MustCompile(`%[#+\-0-9.\[\]]*[a-zA-Z]`)
+
+// NewMatcher compiles the given templates.
+func NewMatcher(templates []string) *Matcher {
+	m := &Matcher{}
+	seen := map[string]bool{}
+	for _, t := range templates {
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		m.templates = append(m.templates, compileTemplate(t))
+	}
+	return m
+}
+
+func compileTemplate(t string) templatePattern {
+	locs := verbRe.FindAllStringIndex(t, -1)
+	if len(locs) == 0 {
+		return templatePattern{template: t, prefix: logdiff.Sanitize(t), exact: true}
+	}
+	var parts []string
+	prev := 0
+	for _, loc := range locs {
+		parts = append(parts, logdiff.Sanitize(t[prev:loc[0]]))
+		prev = loc[1]
+	}
+	parts = append(parts, logdiff.Sanitize(t[prev:]))
+	return templatePattern{template: t, prefix: parts[0], parts: parts[1:]}
+}
+
+// Match returns the templates the sanitized message could have been
+// rendered from.
+func (m *Matcher) Match(sanitizedMsg string) []string {
+	var out []string
+	for _, p := range m.templates {
+		if p.matches(sanitizedMsg) {
+			out = append(out, p.template)
+		}
+	}
+	return out
+}
+
+func (p templatePattern) matches(msg string) bool {
+	if p.exact {
+		return msg == p.prefix
+	}
+	if !strings.HasPrefix(msg, p.prefix) {
+		return false
+	}
+	rest := msg[len(p.prefix):]
+	for i, part := range p.parts {
+		last := i == len(p.parts)-1
+		if part == "" {
+			if last {
+				return true // trailing verb swallows the rest
+			}
+			continue
+		}
+		if last {
+			return strings.HasSuffix(rest, part)
+		}
+		idx := strings.Index(rest, part)
+		if idx < 0 {
+			return false
+		}
+		rest = rest[idx+len(part):]
+	}
+	return true
+}

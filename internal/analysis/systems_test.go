@@ -1,0 +1,139 @@
+package analysis
+
+import "testing"
+
+// analyzeDir is a test helper with per-directory caching.
+var cache = map[string]*Result{}
+
+func analyzeDir(t *testing.T, dir string) *Result {
+	t.Helper()
+	if res, ok := cache[dir]; ok {
+		return res
+	}
+	res, err := AnalyzePackages([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache[dir] = res
+	return res
+}
+
+// chainCase asserts a causal path exists from a root-cause fault site to a
+// symptom log template.
+type chainCase struct {
+	site     string
+	template string
+}
+
+func checkChains(t *testing.T, res *Result, cases []chainCase) {
+	t.Helper()
+	for _, c := range cases {
+		if !pathExists(t, res.Graph, c.site, c.template) {
+			t.Errorf("no causal path from %s to %q", c.site, c.template)
+		}
+	}
+}
+
+// TestDFSCausalChains covers the seven HDFS-analog failures' root chains.
+func TestDFSCausalChains(t *testing.T) {
+	res := analyzeDir(t, "internal/sys/dfs")
+	checkChains(t, res, []chainCase{
+		// f5: failed edit roll. (The second symptom — the latched
+		// "Skipping checkpoint" — is absence causality: checkpointBusy is
+		// never CLEARED on the error path. Static analysis cannot see
+		// absent statements (§6), so only the first message anchors the
+		// site; the dynamic feedback covers the rest.)
+		{"dfs.namenode.read-edits", "Failed to roll edit log"},
+		// f6: interrupted transfer -> finalize-anyway warning.
+		{"dfs.secondary.upload-image", "Exception during image transfer to namenode"},
+		// f7: recovery fault -> lease monitor's failure log (cross-actor).
+		{"dfs.datanode.recover-finalize", "Block recovery failed for %s: %s"},
+		// f8: connect fault -> pipeline failure log.
+		{"dfs.datanode.connect-downstream", "Failed to build pipeline for blk_%d at %s"},
+		// f9: refetch fault -> stale-token retry log.
+		{"dfs.client.refetch-token", "Failed to refetch block token for blk_%d, retrying with stale token"},
+		// f10: volume fault -> datanode startup abort.
+		{"dfs.datanode.init-storage", "DataNode %s failed to start: no valid volumes"},
+		// f11: getblocks fault -> balancer crash.
+		{"dfs.balancer.get-blocks", "Unhandled exception in balancer: %s"},
+	})
+}
+
+// TestTablestoreCausalChains covers the six HBase-analog failures.
+func TestTablestoreCausalChains(t *testing.T) {
+	res := analyzeDir(t, "internal/sys/tablestore")
+	checkChains(t, res, []chainCase{
+		// f12: header fault -> empty-WAL replication stall.
+		{"ts.wal.write-header", "Failed to write WAL header of %s: %s"},
+		// f13: interrupted step -> failed flag -> later rejection (jump).
+		{"ts.proc.step-wait", "Procedure %s was interrupted, marking procedure as failed"},
+		{"ts.proc.step-wait", "Procedure executor in failed state, rejecting procedure %s"},
+		// f14: decode fault -> conversion warning.
+		{"ts.region.decode-mutation", "Failed to convert mutation %d in batch for %s"},
+		// f15: chunk-read fault -> resubmit log (cross-actor via split-failed).
+		{"ts.split.read-walchunk", "Error reading WAL chunk %s on %s"},
+		// f16: copy fault -> opaque abort.
+		{"ts.repl.copy-queue", "Aborting region server %s: unexpected exception"},
+		// f17: stream fault -> broken-stream log and (via flags) flush timeout.
+		{"ts.wal.stream-write", "WAL stream broken on %s, %d unacked appends pending"},
+	})
+}
+
+// TestMQCausalChains covers the three Kafka-analog failures.
+func TestMQCausalChains(t *testing.T) {
+	res := analyzeDir(t, "internal/sys/mq")
+	checkChains(t, res, []chainCase{
+		// f18: checkpoint fault -> crash/restart log.
+		{"mq.streams.checkpoint", "Stream task crashed while checkpointing: %s; restarting task"},
+		// f19: stop fault -> blocked herder log.
+		{"mq.connect.stop-connector", "Connector %s failed to stop: %s; herder waiting for clean shutdown"},
+		// f20: conversion fault -> tolerated-drop log.
+		{"mq.mm2.convert-record", "Mirror dropped record at offset %d (errors.tolerance=all)"},
+	})
+}
+
+// TestKVStoreCausalChains covers the two Cassandra-analog failures.
+func TestKVStoreCausalChains(t *testing.T) {
+	res := analyzeDir(t, "internal/sys/kvstore")
+	checkChains(t, res, []chainCase{
+		// f21: stream task fault -> proxy corruption logs.
+		{"cs.stream.file-task", "File stream task %s failed for %s; channel proxy left in invalid state"},
+		{"cs.stream.file-task", "Stream session %s failed: channel proxy in invalid state"},
+		// f22: snapshot fault -> swallowed failure log.
+		{"cs.repair.make-snapshot", "Snapshot for %s failed on %s"},
+	})
+}
+
+// TestToyCausalChains covers the two-fault demo service.
+func TestToyCausalChains(t *testing.T) {
+	res := analyzeDir(t, "internal/sys/toy")
+	checkChains(t, res, []chainCase{
+		{"toy.scrub-store", "store scrub failed, running degraded"},
+		// ping fault reaches the fatal log; scrub fault reaches it too via
+		// the degraded-condition jump.
+		{"toy.ping-peer", "service entered unrecoverable state: degraded store with unreachable peer"},
+		{"toy.scrub-store", "service entered unrecoverable state: degraded store with unreachable peer"},
+	})
+}
+
+// TestAllSystemsHaveReasonableGraphs sanity-checks graph sizes.
+func TestAllSystemsHaveReasonableGraphs(t *testing.T) {
+	for dir, minSites := range map[string]int{
+		"internal/sys/zk":         15,
+		"internal/sys/dfs":        25,
+		"internal/sys/tablestore": 18,
+		"internal/sys/mq":         18,
+		"internal/sys/kvstore":    9,
+	} {
+		res := analyzeDir(t, dir)
+		if len(res.Sites) < minSites {
+			t.Errorf("%s: only %d sites", dir, len(res.Sites))
+		}
+		if res.Graph.NumEdges() < res.Graph.NumNodes()/2 {
+			t.Errorf("%s: sparse graph %d nodes %d edges", dir, res.Graph.NumNodes(), res.Graph.NumEdges())
+		}
+		if len(res.Graph.FaultSites()) != len(res.Sites) {
+			t.Errorf("%s: graph sites %d != discovered %d", dir, len(res.Graph.FaultSites()), len(res.Sites))
+		}
+	}
+}

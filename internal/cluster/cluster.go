@@ -1,0 +1,115 @@
+// Package cluster wires one simulated run together: the DES kernel, run
+// logger, fault-injection runtime, network and disk. Every explorer round
+// (workflow steps 1 and 3) is one Execute call with a fresh Env, so rounds
+// are hermetic and replayable.
+package cluster
+
+import (
+	"strings"
+
+	"anduril/internal/des"
+	"anduril/internal/inject"
+	"anduril/internal/logdiff"
+	"anduril/internal/logging"
+	"anduril/internal/simdisk"
+	"anduril/internal/simnet"
+)
+
+// Env is the environment a target system runs in for one round.
+type Env struct {
+	Sim  *des.Sim
+	Log  *logging.Log
+	FI   *inject.Runtime
+	Net  *simnet.Net
+	Disk *simdisk.Disk
+}
+
+// NewEnv builds a fully-wired environment. seed drives all nondeterminism
+// in the round; plan is the round's injection plan (nil = free run).
+func NewEnv(seed int64, plan inject.Plan) *Env {
+	sim := des.New(seed)
+	lg := logging.New(sim)
+	fi := inject.NewRuntime(plan)
+	fi.LogPos = lg.Pos
+	fi.Thread = func() string {
+		if c := sim.Current(); c != "" {
+			return c
+		}
+		return "main"
+	}
+	fi.Now = sim.Now
+	net := simnet.New(sim, fi, lg, des.Millisecond, 4*des.Millisecond)
+	disk := simdisk.New(fi)
+	return &Env{Sim: sim, Log: lg, FI: fi, Net: net, Disk: disk}
+}
+
+// Result snapshots what a round produced: the observables the explorer
+// feeds on and the state the oracle judges.
+type Result struct {
+	Env       *Env
+	Entries   []logging.Entry   // the round's log
+	Blocked   []string          // actors stuck on conditions at the end
+	Injected  inject.TraceEvent // the injected reach, if any
+	DidInject bool
+	Trace     []inject.TraceEvent // full reach trace (free runs only)
+	Counts    map[string]int      // per-site dynamic occurrence counts
+	Events    int                 // DES events executed
+}
+
+// Workload builds a system inside env and schedules its driver; Execute
+// then runs the simulation.
+type Workload func(env *Env)
+
+// Execute performs one round: construct env, run the workload to the
+// horizon (or quiescence), snapshot the result.
+func Execute(seed int64, plan inject.Plan, keepTrace bool, w Workload, horizon des.Time) *Result {
+	env := NewEnv(seed, plan)
+	env.FI.KeepTrace = keepTrace
+	w(env)
+	n := env.Sim.Run(horizon)
+	res := &Result{
+		Env:     env,
+		Entries: env.Log.Entries(),
+		Blocked: env.Sim.Blocked(),
+		Counts:  env.FI.Counts(),
+		Events:  n,
+	}
+	if keepTrace {
+		res.Trace = env.FI.Trace()
+	}
+	if ev, ok := env.FI.Injected(); ok {
+		res.Injected = ev
+		res.DidInject = true
+	}
+	return res
+}
+
+// RenderLog renders the round's log as production-style text.
+func (r *Result) RenderLog() string { return r.Env.Log.Render() }
+
+// LogContains reports whether any log message (sanitized) contains the
+// sanitized needle — the basic symptom check oracles use.
+func (r *Result) LogContains(needle string) bool {
+	sn := logdiff.Sanitize(needle)
+	for _, e := range r.Entries {
+		if strings.Contains(logdiff.Sanitize(e.Msg), sn) {
+			return true
+		}
+	}
+	return false
+}
+
+// LogContainsExact reports whether any log message contains the needle
+// verbatim (digit-sensitive, unlike LogContains).
+func (r *Result) LogContainsExact(needle string) bool {
+	for _, e := range r.Entries {
+		if strings.Contains(e.Msg, needle) {
+			return true
+		}
+	}
+	return false
+}
+
+// BlockedOn reports whether some actor is stuck on the given condition
+// label — the "stack trace shows thread stuck at X" symptom.
+func (r *Result) BlockedOn(label string) bool { return r.Env.Sim.BlockedOn(label) }

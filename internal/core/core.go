@@ -1,0 +1,286 @@
+// Package core implements ANDURIL's Explorer (§5): the feedback-driven
+// search over the fault space for the root-cause fault and timing.
+//
+// A reproduction run follows the workflow of §3: one free run of the
+// workload collects the normal log and the dynamic fault-instance timeline;
+// the failure log is diffed against it to extract relevant observables
+// (§5.1); the static causal graph supplies spatial distances from fault
+// sites to observables (§5.2.2); the free-run timeline, aligned onto the
+// failure log's timeline, supplies temporal distances for fault instances
+// (§5.2.3); and each unsuccessful injection feeds back into observable
+// priorities (§5.2.1, Algorithm 2). Candidate instances are injected
+// through a flexible priority window (§5.2.5).
+//
+// The package also implements the five ablation variants of §8.3 and the
+// comparison systems of §8.4 (FATE, CrashTuner, stacktrace-injector, plus
+// a chaos-style random injector) behind the same interface.
+package core
+
+import (
+	"time"
+
+	"anduril/internal/analysis"
+	"anduril/internal/cluster"
+	"anduril/internal/des"
+	"anduril/internal/inject"
+	"anduril/internal/logging"
+	"anduril/internal/oracle"
+)
+
+// Strategy selects the exploration algorithm.
+type Strategy string
+
+// Strategies. FullFeedback is complete ANDURIL; the next five are the
+// ablation variants of §8.3; the last four are the §8.4 baselines.
+const (
+	FullFeedback      Strategy = "full-feedback"
+	Exhaustive        Strategy = "exhaustive-instance"
+	SiteDistance      Strategy = "site-distance"
+	SiteDistanceLimit Strategy = "site-distance-limit"
+	SiteFeedback      Strategy = "site-feedback"
+	MultiplyFeedback  Strategy = "multiply-feedback"
+	FATE              Strategy = "fate"
+	CrashTuner        Strategy = "crashtuner"
+	StackTrace        Strategy = "stacktrace"
+	Random            Strategy = "random"
+)
+
+// Strategies lists every implemented strategy in Table 2 column order.
+var Strategies = []Strategy{
+	FullFeedback, Exhaustive, SiteDistance, SiteDistanceLimit,
+	SiteFeedback, MultiplyFeedback, FATE, CrashTuner, StackTrace, Random,
+}
+
+// Target is one failure to reproduce: the inputs of §2.
+type Target struct {
+	ID          string // dataset id, e.g. "f17"
+	Issue       string // upstream issue, e.g. "HB-25905"
+	System      string
+	Description string
+
+	Workload cluster.Workload
+	Horizon  des.Time
+	Oracle   oracle.Oracle
+
+	// FailureLog is the parsed production log from the uninstrumented
+	// deployment.
+	FailureLog []logging.Entry
+
+	// Analysis is the static causal graph et al. for the target system.
+	Analysis *analysis.Result
+
+	// RootSite is the ground-truth root-cause site, used only for rank
+	// tracking (Figure 6) and reporting — never by the search itself.
+	RootSite string
+}
+
+// Options tune the explorer.
+type Options struct {
+	Strategy      Strategy
+	Window        int   // initial flexible-window size k (§5.2.5); default 10
+	Adjust        int   // observable priority adjustment s (§5.2.1); default 1
+	MaxRounds     int   // round cap; default 2000
+	Seed          int64 // master seed; round r runs with Seed+r
+	InstanceLimit int   // per-site instance cap for the limited variants; default 3
+	TrackRank     bool  // record the root site's rank each round (Figure 6)
+
+	// RunsPerRound re-executes an unsuccessful injection under extra seeds
+	// and feeds back the combined logs — the §6 mitigation for runs whose
+	// internal concurrency makes crucial log messages probabilistic.
+	// Default 1 (the paper's base algorithm).
+	RunsPerRound int
+
+	// Ablation knobs for the design choices §5.2.4 discusses. All default
+	// to the paper's choices (min aggregation, #log-messages temporal
+	// distance, doubling window, per-thread diff).
+	AggregateSum    bool // F_i = sum_k(p_{i,k}) instead of min_k
+	TemporalByOrder bool // T by instance order instead of log-message count
+	FixedWindow     bool // never double the window on empty rounds
+	GlobalDiff      bool // diff logs globally instead of per thread
+}
+
+func (o Options) withDefaults() Options {
+	if o.Strategy == "" {
+		o.Strategy = FullFeedback
+	}
+	if o.Window <= 0 {
+		o.Window = 10
+	}
+	if o.Adjust <= 0 {
+		o.Adjust = 1
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 2000
+	}
+	if o.InstanceLimit <= 0 {
+		o.InstanceLimit = 3
+	}
+	if o.RunsPerRound <= 0 {
+		o.RunsPerRound = 1
+	}
+	return o
+}
+
+// Round records one injection round.
+type Round struct {
+	N          int
+	Injected   *inject.Instance // nil when no candidate occurred
+	Satisfied  bool
+	RootRank   int // 1-based rank of the ground-truth site; 0 if untracked
+	MissingObs int // relevant observables still missing after this round
+	WindowSize int
+	InitTime   time.Duration // priority computation before the run
+	RunTime    time.Duration // wall time of the workload run
+	InjectReqs int           // injection requests the runtime received
+	DecideTime time.Duration // total plan-decision latency in the run
+}
+
+// Report is the outcome of a reproduction attempt.
+type Report struct {
+	Target     string
+	Issue      string
+	Strategy   Strategy
+	Reproduced bool
+	Rounds     int
+	Script     *inject.Instance // deterministic reproduction plan (step 4.a)
+	ScriptSeed int64            // the seed of the reproducing round: Exact(Script) under this seed replays deterministically
+	RoundLog   []Round
+	Elapsed    time.Duration
+
+	RelevantObservables int
+	CandidateSites      int
+	CandidateInstances  int
+	FreeRunLogLines     int
+	FreeRunTime         time.Duration
+
+	// BestPartial is the injection whose round log came closest to the
+	// failure log (fewest still-missing observables). When the search
+	// fails, this is the §3 hint for iterative multi-fault reproduction.
+	BestPartial        *inject.Instance
+	BestPartialMissing int
+}
+
+// MedianInitTime returns the median per-round initialization time.
+func (r *Report) MedianInitTime() time.Duration {
+	return medianDuration(r.RoundLog, func(rd Round) time.Duration { return rd.InitTime })
+}
+
+// MedianRunTime returns the median per-round workload time.
+func (r *Report) MedianRunTime() time.Duration {
+	return medianDuration(r.RoundLog, func(rd Round) time.Duration { return rd.RunTime })
+}
+
+// MedianInjectReqs returns the median injection requests per round.
+func (r *Report) MedianInjectReqs() int {
+	if len(r.RoundLog) == 0 {
+		return 0
+	}
+	vals := make([]int, 0, len(r.RoundLog))
+	for _, rd := range r.RoundLog {
+		vals = append(vals, rd.InjectReqs)
+	}
+	sortInts(vals)
+	return vals[len(vals)/2]
+}
+
+// MeanDecisionLatency returns the mean latency of one injection decision.
+func (r *Report) MeanDecisionLatency() time.Duration {
+	var total time.Duration
+	reqs := 0
+	for _, rd := range r.RoundLog {
+		total += rd.DecideTime
+		reqs += rd.InjectReqs
+	}
+	if reqs == 0 {
+		return 0
+	}
+	return total / time.Duration(reqs)
+}
+
+func medianDuration(rounds []Round, f func(Round) time.Duration) time.Duration {
+	if len(rounds) == 0 {
+		return 0
+	}
+	vals := make([]time.Duration, 0, len(rounds))
+	for _, rd := range rounds {
+		vals = append(vals, f(rd))
+	}
+	for i := 1; i < len(vals); i++ {
+		for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
+			vals[j], vals[j-1] = vals[j-1], vals[j]
+		}
+	}
+	return vals[len(vals)/2]
+}
+
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// Reproduce searches for an injection that satisfies the target's oracle.
+func Reproduce(t *Target, opts Options) *Report {
+	opts = opts.withDefaults()
+	e := newEngine(t, opts)
+	return e.run()
+}
+
+// IterReport is the outcome of an iterative multi-fault reproduction.
+type IterReport struct {
+	Reproduced bool
+	// Scripts are the faults to inject together, in discovery order; the
+	// last one satisfied the oracle with the earlier ones baked in.
+	Scripts []inject.Instance
+	Reports []*Report
+}
+
+// ReproduceIterative extends the single-fault workflow to failures caused
+// by multiple causally-independent faults, automating the iterative usage
+// §3 describes: when a search pass cannot reproduce the failure, the
+// injection that brought the run log closest to the failure log is baked
+// into the workload and the search repeats for the next fault.
+func ReproduceIterative(t *Target, opts Options, maxFaults int) *IterReport {
+	opts = opts.withDefaults()
+	if maxFaults <= 0 {
+		maxFaults = 2
+	}
+	out := &IterReport{}
+	var baked []inject.Instance
+	for pass := 0; pass < maxFaults; pass++ {
+		e := newEngine(t, opts)
+		e.baked = baked
+		rep := e.run()
+		out.Reports = append(out.Reports, rep)
+		if rep.Reproduced {
+			out.Reproduced = true
+			out.Scripts = append(append([]inject.Instance(nil), baked...), *rep.Script)
+			return out
+		}
+		if rep.BestPartial == nil {
+			break
+		}
+		baked = append(baked, *rep.BestPartial)
+	}
+	out.Scripts = baked
+	return out
+}
+
+// VerifyMulti replays a multi-fault script deterministically.
+func VerifyMulti(t *Target, scripts []inject.Instance, seed int64) bool {
+	plans := make([]inject.Plan, len(scripts))
+	for i, s := range scripts {
+		plans[i] = inject.Exact(s)
+	}
+	res := cluster.Execute(seed, inject.Multi(plans...), false, t.Workload, t.Horizon)
+	return t.Oracle.Satisfied(res)
+}
+
+// Verify replays a reproduction script deterministically and reports
+// whether the oracle is satisfied — workflow step 4.a's output check.
+func Verify(t *Target, script inject.Instance, seed int64) bool {
+	res := cluster.Execute(seed, inject.Exact(script), false, t.Workload, t.Horizon)
+	return t.Oracle.Satisfied(res)
+}

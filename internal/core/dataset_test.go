@@ -1,0 +1,114 @@
+package core_test
+
+import (
+	"testing"
+
+	"anduril/internal/core"
+	"anduril/internal/failures"
+)
+
+// TestFullFeedbackReproducesEntireDataset is the headline regression: the
+// complete algorithm must reproduce all 22 real-world failures.
+func TestFullFeedbackReproducesEntireDataset(t *testing.T) {
+	totalRounds := 0
+	for _, sc := range failures.All() {
+		tgt, err := sc.BuildTarget()
+		if err != nil {
+			t.Fatalf("%s: %v", sc.ID, err)
+		}
+		rep := core.Reproduce(tgt, core.Options{Seed: 1, MaxRounds: 500})
+		if !rep.Reproduced {
+			t.Errorf("%s (%s) not reproduced in %d rounds", sc.ID, sc.Issue, rep.Rounds)
+			continue
+		}
+		totalRounds += rep.Rounds
+		// The script must replay deterministically under a fresh seed.
+		if !core.Verify(tgt, *rep.Script, rep.ScriptSeed) {
+			t.Errorf("%s: script %v does not verify", sc.ID, *rep.Script)
+		}
+	}
+	t.Logf("all 22 reproduced, %d total rounds", totalRounds)
+}
+
+// TestStackTraceBaselineShape checks the paper's §8.4 finding: the
+// stacktrace injector succeeds exactly when the failure log names the
+// root-cause fault, and fails otherwise.
+func TestStackTraceBaselineShape(t *testing.T) {
+	// These defect paths log the original exception text.
+	inLog := map[string]bool{
+		"f1": true, "f2": true, "f3": true, "f4": true, "f7": true,
+		"f11": true, "f12": true, "f18": true, "f19": true,
+	}
+	for _, sc := range failures.All() {
+		tgt, err := sc.BuildTarget()
+		if err != nil {
+			t.Fatalf("%s: %v", sc.ID, err)
+		}
+		rep := core.Reproduce(tgt, core.Options{Strategy: core.StackTrace, Seed: 1, MaxRounds: 500})
+		if rep.Reproduced != inLog[sc.ID] {
+			t.Errorf("%s: stacktrace reproduced=%v, want %v", sc.ID, rep.Reproduced, inLog[sc.ID])
+		}
+	}
+}
+
+// TestInstanceLimitMissesTimingCriticalFailures checks the §8.3 ablation
+// finding: capping each site at its first 3 instances loses exactly the
+// failures whose root-cause occurrence is late and state-dependent.
+func TestInstanceLimitMissesTimingCriticalFailures(t *testing.T) {
+	timingCritical := map[string]bool{"f4": true, "f17": true, "f20": true}
+	for id := range map[string]bool{"f4": true, "f17": true, "f20": true, "f1": false, "f16": false} {
+		sc, _ := failures.ByID(id)
+		tgt, err := sc.BuildTarget()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := core.Reproduce(tgt, core.Options{Strategy: core.SiteDistanceLimit, Seed: 1, MaxRounds: 500})
+		if timingCritical[id] && rep.Reproduced {
+			t.Errorf("%s: limit-3 variant should miss this timing-critical failure", id)
+		}
+		if !timingCritical[id] && !rep.Reproduced {
+			t.Errorf("%s: limit-3 variant should still reproduce this one", id)
+		}
+	}
+}
+
+// TestCrashTunerShape: the meta-info heuristic reproduces only the
+// failures whose root sits at a crash-recovery point (4 of 22, as in the
+// paper).
+func TestCrashTunerShape(t *testing.T) {
+	count := 0
+	for _, sc := range failures.All() {
+		tgt, err := sc.BuildTarget()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := core.Reproduce(tgt, core.Options{Strategy: core.CrashTuner, Seed: 1, MaxRounds: 500})
+		if rep.Reproduced {
+			count++
+		}
+	}
+	if count < 2 || count > 8 {
+		t.Errorf("crashtuner reproduced %d failures; expected a small minority (paper: 4)", count)
+	}
+	t.Logf("crashtuner reproduced %d/22", count)
+}
+
+// TestDatasetSeedRobustness re-runs the headline regression under other
+// master seeds: reproduction must not depend on a lucky environment.
+func TestDatasetSeedRobustness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	for _, seed := range []int64{42, 777} {
+		for _, sc := range failures.All() {
+			tgt, err := sc.BuildTarget()
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := core.Reproduce(tgt, core.Options{Seed: seed, MaxRounds: 500})
+			if !rep.Reproduced {
+				t.Errorf("seed %d: %s (%s) not reproduced", seed, sc.ID, sc.Issue)
+			}
+		}
+	}
+}

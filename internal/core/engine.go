@@ -1,0 +1,523 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"anduril/internal/analysis"
+	"anduril/internal/cluster"
+	"anduril/internal/inject"
+	"anduril/internal/logdiff"
+	"anduril/internal/logging"
+)
+
+// observable is one relevant observable o_k (§5.1): a log message that only
+// appears in the failure log, with its positions on the failure timeline,
+// its matching static templates, and its feedback priority I_k.
+type observable struct {
+	key       logdiff.Key
+	positions []int
+	templates []string
+	priority  int
+}
+
+// instance is one dynamic fault candidate f_{i,j} from the free run.
+type instance struct {
+	occ        int
+	logPos     int
+	alignedPos float64 // position mapped onto the failure-log timeline
+}
+
+// siteState is the explorer's view of one static fault site f_i.
+type siteState struct {
+	id        string
+	instances []instance
+	tried     map[int]bool
+
+	f       float64 // current priority F_i (smaller = higher priority)
+	bestObs int     // index of the observable realizing F_i
+}
+
+type engine struct {
+	t *Target
+	o Options
+
+	obs   []*observable
+	sites []*siteState
+	dist  map[string]map[string]int
+	align *logdiff.Alignment
+
+	sumBest map[string]float64 // sum-aggregation ablation bookkeeping
+
+	// baked faults are injected in every run of this pass (iterative
+	// multi-fault reproduction); the search explores candidates on top.
+	baked []inject.Instance
+
+	report *Report
+}
+
+func newEngine(t *Target, o Options) *engine {
+	return &engine{t: t, o: o, report: &Report{
+		Target: t.ID, Issue: t.Issue, Strategy: o.Strategy,
+	}}
+}
+
+// bakedPlan returns the plan injecting the baked faults (nil when none).
+func (e *engine) bakedPlan(extra inject.Plan) inject.Plan {
+	if len(e.baked) == 0 {
+		return extra
+	}
+	plans := make([]inject.Plan, 0, len(e.baked)+1)
+	for _, b := range e.baked {
+		plans = append(plans, inject.Exact(b))
+	}
+	if extra != nil {
+		plans = append(plans, extra)
+	}
+	return inject.Multi(plans...)
+}
+
+// isBaked reports whether an injected event is one of the baked faults.
+func (e *engine) isBaked(ev inject.TraceEvent) bool {
+	for _, b := range e.baked {
+		if b.Site == ev.Site && b.Occurrence == ev.Occurrence {
+			return true
+		}
+	}
+	return false
+}
+
+// run executes the whole workflow: free run, setup, then the strategy.
+func (e *engine) run() *Report {
+	start := time.Now()
+	freeStart := time.Now()
+	free := cluster.Execute(e.o.Seed, e.bakedPlan(nil), true, e.t.Workload, e.t.Horizon)
+	e.report.FreeRunTime = time.Since(freeStart)
+	e.report.FreeRunLogLines = len(free.Entries)
+
+	e.setup(free)
+
+	switch e.o.Strategy {
+	case FullFeedback, SiteDistance, SiteDistanceLimit, SiteFeedback, MultiplyFeedback:
+		e.feedbackLoop()
+	default:
+		e.enumerativeLoop(free)
+	}
+	e.report.Elapsed = time.Since(start)
+	return e.report
+}
+
+// flatten collapses thread names for the global-diff ablation.
+func (e *engine) flatten(entries []logging.Entry) []logging.Entry {
+	if !e.o.GlobalDiff {
+		return entries
+	}
+	out := make([]logging.Entry, len(entries))
+	for i, en := range entries {
+		en.Thread = "*"
+		out[i] = en
+	}
+	return out
+}
+
+// setup performs workflow steps 1-2: extract relevant observables, match
+// them to causal-graph templates, compute spatial distances and the
+// fault-instance timeline alignment.
+func (e *engine) setup(free *cluster.Result) {
+	cmp := logdiff.Compare(e.flatten(free.Entries), e.flatten(e.t.FailureLog))
+	e.align = logdiff.NewAlignment(cmp, len(free.Entries), len(e.t.FailureLog))
+
+	var templates []string
+	for _, l := range e.t.Analysis.Logs {
+		templates = append(templates, l.Template)
+	}
+	matcher := analysis.NewMatcher(templates)
+
+	for _, key := range cmp.MissingKeys() {
+		e.obs = append(e.obs, &observable{
+			key:       key,
+			positions: cmp.Missing[key],
+			templates: matcher.Match(key.Msg),
+		})
+	}
+	e.report.RelevantObservables = len(e.obs)
+
+	// Spatial distances L_{i,k} from the static causal graph.
+	e.dist = e.t.Analysis.Graph.SiteDistances()
+
+	// Candidate sites: causally connected to at least one relevant
+	// observable AND exercised by the workload (otherwise there is no
+	// instance to inject).
+	relevantTemplates := map[string]bool{}
+	for _, o := range e.obs {
+		for _, t := range o.templates {
+			relevantTemplates[t] = true
+		}
+	}
+	bySite := map[string][]instance{}
+	for _, ev := range free.Trace {
+		bySite[ev.Site] = append(bySite[ev.Site], instance{
+			occ:        ev.Occurrence,
+			logPos:     ev.LogPos,
+			alignedPos: e.align.Map(ev.LogPos),
+		})
+	}
+	total := 0
+	for siteID, dists := range e.dist {
+		reachesRelevant := false
+		for tmpl := range dists {
+			if relevantTemplates[tmpl] {
+				reachesRelevant = true
+				break
+			}
+		}
+		if !reachesRelevant {
+			continue
+		}
+		insts := bySite[siteID]
+		if len(insts) == 0 {
+			continue
+		}
+		e.sites = append(e.sites, &siteState{id: siteID, instances: insts, tried: make(map[int]bool)})
+		total += len(insts)
+	}
+	sort.Slice(e.sites, func(i, j int) bool { return e.sites[i].id < e.sites[j].id })
+	e.report.CandidateSites = len(e.sites)
+	e.report.CandidateInstances = total
+
+	// Baked faults are part of the workload now; never re-explore them.
+	for _, b := range e.baked {
+		e.markTried(b)
+	}
+}
+
+// computePriorities evaluates F_i = min_k (L_{i,k} + I_k) for every site
+// (§5.2.4), with the distance and feedback terms toggled per strategy.
+func (e *engine) computePriorities(useDistance, useFeedback bool) {
+	e.sumBest = nil
+	for _, s := range e.sites {
+		s.f = math.Inf(1)
+		s.bestObs = -1
+		dists := e.dist[s.id]
+		for k, o := range e.obs {
+			l := math.Inf(1)
+			for _, tmpl := range o.templates {
+				if d, ok := dists[tmpl]; ok && float64(d) < l {
+					l = float64(d)
+				}
+			}
+			if math.IsInf(l, 1) {
+				continue
+			}
+			val := 0.0
+			if useDistance {
+				val += l
+			}
+			if useFeedback {
+				val += float64(o.priority)
+			}
+			if e.o.AggregateSum {
+				// Ablation: sum of partial priorities instead of min. The
+				// best observable is still the closest one.
+				if math.IsInf(s.f, 1) {
+					s.f = 0
+				}
+				s.f += val
+				if s.bestObs < 0 || val < e.bestVal(s) {
+					s.bestObs = k
+					e.setBestVal(s, val)
+				}
+				continue
+			}
+			if val < s.f {
+				s.f = val
+				s.bestObs = k
+			}
+		}
+	}
+}
+
+// bestVal bookkeeping for the sum-aggregation ablation: remembers the
+// smallest partial priority so bestObs stays the nearest observable.
+func (e *engine) bestVal(s *siteState) float64 {
+	if e.sumBest == nil {
+		e.sumBest = map[string]float64{}
+	}
+	v, ok := e.sumBest[s.id]
+	if !ok {
+		return math.Inf(1)
+	}
+	return v
+}
+
+func (e *engine) setBestVal(s *siteState, v float64) {
+	if e.sumBest == nil {
+		e.sumBest = map[string]float64{}
+	}
+	e.sumBest[s.id] = v
+}
+
+// temporalDistance computes T_{i,j,k} for an instance against the site's
+// chosen observable: the number of log messages between the instance's
+// aligned position and the observable on the failure timeline (§5.2.3).
+func (e *engine) temporalDistance(s *siteState, inst instance) float64 {
+	if s.bestObs < 0 {
+		return inst.alignedPos
+	}
+	best := math.Inf(1)
+	for _, p := range e.obs[s.bestObs].positions {
+		d := math.Abs(inst.alignedPos - float64(p))
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// bestUntried returns the site's highest-priority untried instance.
+func (e *engine) bestUntried(s *siteState, useTemporal bool, limit int) (instance, bool) {
+	bestScore := math.Inf(1)
+	var best instance
+	found := false
+	for i, inst := range s.instances {
+		if limit > 0 && i >= limit {
+			break
+		}
+		if s.tried[inst.occ] {
+			continue
+		}
+		score := float64(inst.occ)
+		if useTemporal {
+			score = e.temporalDistance(s, inst)
+		}
+		if score < bestScore {
+			bestScore = score
+			best = inst
+			found = true
+		}
+	}
+	return best, found
+}
+
+// rankedSites returns sites ordered by F ascending (name as tiebreak).
+func (e *engine) rankedSites() []*siteState {
+	out := make([]*siteState, len(e.sites))
+	copy(out, e.sites)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].f != out[j].f {
+			return out[i].f < out[j].f
+		}
+		return out[i].id < out[j].id
+	})
+	return out
+}
+
+// rootRank finds the 1-based rank of the ground-truth site, for Figure 6.
+func (e *engine) rootRank(ranked []*siteState) int {
+	if e.t.RootSite == "" {
+		return 0
+	}
+	for i, s := range ranked {
+		if s.id == e.t.RootSite {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// executeRound runs the workload once with the given plan and records the
+// round bookkeeping. Returns the run result.
+func (e *engine) executeRound(round int, plan inject.Plan, initTime time.Duration, windowSize int, rootRank int) (*cluster.Result, *Round) {
+	runStart := time.Now()
+	res := cluster.Execute(e.o.Seed+int64(round), e.bakedPlan(plan), false, e.t.Workload, e.t.Horizon)
+	reqs, decTime := res.Env.FI.Decisions()
+	rd := Round{
+		N:          round,
+		Satisfied:  false,
+		RootRank:   rootRank,
+		WindowSize: windowSize,
+		InitTime:   initTime,
+		RunTime:    time.Since(runStart),
+		InjectReqs: reqs,
+		DecideTime: decTime,
+	}
+	// The round's searched injection is the one that is not a baked fault.
+	for _, ev := range res.Env.FI.InjectedAll() {
+		if e.isBaked(ev) {
+			continue
+		}
+		rd.Injected = &inject.Instance{Site: ev.Site, Occurrence: ev.Occurrence}
+		break
+	}
+	return res, &rd
+}
+
+// feedbackLoop is the priority-driven exploration shared by ANDURIL and its
+// ablation variants.
+func (e *engine) feedbackLoop() {
+	useFeedback := e.o.Strategy == FullFeedback || e.o.Strategy == SiteFeedback || e.o.Strategy == MultiplyFeedback
+	useTemporal := (e.o.Strategy == FullFeedback || e.o.Strategy == MultiplyFeedback) && !e.o.TemporalByOrder
+	multiply := e.o.Strategy == MultiplyFeedback
+	limit := 0
+	if e.o.Strategy == SiteDistanceLimit || e.o.Strategy == SiteFeedback {
+		limit = e.o.InstanceLimit
+	}
+
+	window := e.o.Window
+	for round := 1; round <= e.o.MaxRounds; round++ {
+		initStart := time.Now()
+		e.computePriorities(true, useFeedback)
+		ranked := e.rankedSites()
+		rootRank := 0
+		if e.o.TrackRank {
+			rootRank = e.rootRank(ranked)
+		}
+
+		var candidates []inject.Instance
+		if multiply {
+			candidates = e.multiplyCandidates(ranked, window)
+		} else {
+			for _, s := range ranked {
+				if len(candidates) >= window {
+					break
+				}
+				if inst, ok := e.bestUntried(s, useTemporal, limit); ok {
+					candidates = append(candidates, inject.Instance{Site: s.id, Occurrence: inst.occ})
+				}
+			}
+		}
+		if len(candidates) == 0 {
+			return // fault space exhausted: cannot reproduce (step 5)
+		}
+		initTime := time.Since(initStart)
+
+		res, rd := e.executeRound(round, inject.Window(candidates), initTime, window, rootRank)
+		if rd.Injected == nil {
+			// Nothing in the window occurred this round: widen it (§5.2.5).
+			if !e.o.FixedWindow {
+				window *= 2
+			}
+			e.report.RoundLog = append(e.report.RoundLog, *rd)
+			e.report.Rounds = round
+			continue
+		}
+		e.markTried(*rd.Injected)
+
+		if e.t.Oracle.Satisfied(res) {
+			rd.Satisfied = true
+			e.report.RoundLog = append(e.report.RoundLog, *rd)
+			e.report.Rounds = round
+			e.report.Reproduced = true
+			e.report.Script = rd.Injected
+			e.report.ScriptSeed = e.o.Seed + int64(round)
+			return
+		}
+
+		// Combined-log mitigation (§6): re-run the same injection under
+		// extra seeds; crucial observables missing only probabilistically
+		// then show up in at least one of the runs.
+		results := []*cluster.Result{res}
+		for extra := 1; extra < e.o.RunsPerRound; extra++ {
+			seed := e.o.Seed + int64(e.o.MaxRounds) + int64(round*e.o.RunsPerRound+extra)
+			res2 := cluster.Execute(seed, e.bakedPlan(inject.Exact(*rd.Injected)), false, e.t.Workload, e.t.Horizon)
+			if e.t.Oracle.Satisfied(res2) {
+				rd.Satisfied = true
+				e.report.RoundLog = append(e.report.RoundLog, *rd)
+				e.report.Rounds = round
+				e.report.Reproduced = true
+				e.report.Script = rd.Injected
+				e.report.ScriptSeed = seed
+				return
+			}
+			results = append(results, res2)
+		}
+
+		missing := e.missingIn(results)
+		missingCount := 0
+		for i, still := range missing {
+			if still {
+				missingCount++
+			} else if useFeedback {
+				e.obs[i].priority += e.o.Adjust
+			}
+		}
+		rd.MissingObs = missingCount
+		if e.report.BestPartial == nil || missingCount < e.report.BestPartialMissing {
+			e.report.BestPartial = rd.Injected
+			e.report.BestPartialMissing = missingCount
+		}
+		e.report.RoundLog = append(e.report.RoundLog, *rd)
+		e.report.Rounds = round
+	}
+}
+
+// missingIn reports, per relevant observable, whether it is missing from
+// ALL of the given run logs (Algorithm 2's COMPARE over combined logs).
+func (e *engine) missingIn(results []*cluster.Result) []bool {
+	miss := make([]bool, len(e.obs))
+	for i := range miss {
+		miss[i] = true
+	}
+	for _, res := range results {
+		m := logdiff.Compare(e.flatten(res.Entries), e.flatten(e.t.FailureLog)).Missing
+		for i, o := range e.obs {
+			if _, still := m[o.key]; !still {
+				miss[i] = false
+			}
+		}
+	}
+	return miss
+}
+
+// multiplyCandidates ranks all untried (site, instance) pairs by the
+// product (F_i+1) x (T_{i,j}+1) — the §8.3 "multiply feedback" variant that
+// replaces the two-level selection.
+func (e *engine) multiplyCandidates(ranked []*siteState, window int) []inject.Instance {
+	type pair struct {
+		inst  inject.Instance
+		score float64
+	}
+	var pairs []pair
+	for _, s := range ranked {
+		if math.IsInf(s.f, 1) {
+			continue
+		}
+		for _, inst := range s.instances {
+			if s.tried[inst.occ] {
+				continue
+			}
+			t := e.temporalDistance(s, inst)
+			pairs = append(pairs, pair{
+				inst:  inject.Instance{Site: s.id, Occurrence: inst.occ},
+				score: (s.f + 1) * (t + 1),
+			})
+		}
+	}
+	sort.SliceStable(pairs, func(i, j int) bool {
+		if pairs[i].score != pairs[j].score {
+			return pairs[i].score < pairs[j].score
+		}
+		if pairs[i].inst.Site != pairs[j].inst.Site {
+			return pairs[i].inst.Site < pairs[j].inst.Site
+		}
+		return pairs[i].inst.Occurrence < pairs[j].inst.Occurrence
+	})
+	if len(pairs) > window {
+		pairs = pairs[:window]
+	}
+	out := make([]inject.Instance, len(pairs))
+	for i, p := range pairs {
+		out[i] = p.inst
+	}
+	return out
+}
+
+func (e *engine) markTried(inst inject.Instance) {
+	for _, s := range e.sites {
+		if s.id == inst.Site {
+			s.tried[inst.Occurrence] = true
+			return
+		}
+	}
+}

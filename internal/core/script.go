@@ -1,0 +1,105 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"anduril/internal/inject"
+)
+
+// ScriptFile is the serializable reproduction artifact of workflow step
+// 4.a: everything needed to deterministically re-trigger the failure, plus
+// the provenance of the search that found it.
+type ScriptFile struct {
+	Target      string            `json:"target"`
+	Issue       string            `json:"issue,omitempty"`
+	Strategy    Strategy          `json:"strategy"`
+	Faults      []inject.Instance `json:"faults"`
+	Rounds      int               `json:"rounds"`
+	Elapsed     string            `json:"elapsed"`
+	Observables int               `json:"relevant_observables"`
+	Sites       int               `json:"candidate_sites"`
+	Instances   int               `json:"candidate_instances"`
+	GeneratedBy string            `json:"generated_by"`
+}
+
+// ScriptOf extracts the reproduction artifact from a report.
+func ScriptOf(r *Report) (*ScriptFile, error) {
+	if r == nil || !r.Reproduced || r.Script == nil {
+		return nil, fmt.Errorf("core: no reproduction to export")
+	}
+	return &ScriptFile{
+		Target:      r.Target,
+		Issue:       r.Issue,
+		Strategy:    r.Strategy,
+		Faults:      []inject.Instance{*r.Script},
+		Rounds:      r.Rounds,
+		Elapsed:     r.Elapsed.Round(time.Microsecond).String(),
+		Observables: r.RelevantObservables,
+		Sites:       r.CandidateSites,
+		Instances:   r.CandidateInstances,
+		GeneratedBy: "anduril (feedback-driven fault injection)",
+	}, nil
+}
+
+// ScriptOfIter extracts the multi-fault artifact of an iterative run.
+func ScriptOfIter(r *IterReport) (*ScriptFile, error) {
+	if r == nil || !r.Reproduced || len(r.Scripts) == 0 {
+		return nil, fmt.Errorf("core: no reproduction to export")
+	}
+	last := r.Reports[len(r.Reports)-1]
+	rounds := 0
+	for _, rep := range r.Reports {
+		rounds += rep.Rounds
+	}
+	return &ScriptFile{
+		Target:      last.Target,
+		Issue:       last.Issue,
+		Strategy:    last.Strategy,
+		Faults:      append([]inject.Instance(nil), r.Scripts...),
+		Rounds:      rounds,
+		Elapsed:     sumElapsed(r.Reports).Round(time.Microsecond).String(),
+		Observables: last.RelevantObservables,
+		Sites:       last.CandidateSites,
+		Instances:   last.CandidateInstances,
+		GeneratedBy: "anduril (iterative multi-fault mode)",
+	}, nil
+}
+
+func sumElapsed(reports []*Report) time.Duration {
+	var total time.Duration
+	for _, r := range reports {
+		total += r.Elapsed
+	}
+	return total
+}
+
+// Marshal renders the artifact as indented JSON.
+func (s *ScriptFile) Marshal() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// LoadScript parses a serialized reproduction artifact.
+func LoadScript(data []byte) (*ScriptFile, error) {
+	var s ScriptFile
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("core: bad script file: %w", err)
+	}
+	if len(s.Faults) == 0 {
+		return nil, fmt.Errorf("core: script file has no faults")
+	}
+	return &s, nil
+}
+
+// Plan builds the injection plan the script describes.
+func (s *ScriptFile) Plan() inject.Plan {
+	if len(s.Faults) == 1 {
+		return inject.Exact(s.Faults[0])
+	}
+	plans := make([]inject.Plan, len(s.Faults))
+	for i, f := range s.Faults {
+		plans[i] = inject.Exact(f)
+	}
+	return inject.Multi(plans...)
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+
+	"anduril/internal/cluster"
+	"anduril/internal/inject"
+)
+
+// enumerativeLoop drives the non-feedback strategies of §8.3/§8.4: each
+// round injects the next candidate from a strategy-specific enumeration.
+func (e *engine) enumerativeLoop(free *cluster.Result) {
+	var queue []inject.Instance
+	switch e.o.Strategy {
+	case Exhaustive:
+		queue = e.exhaustiveQueue()
+	case FATE:
+		queue = e.fateQueue(free)
+	case CrashTuner:
+		queue = e.crashTunerQueue(free)
+	case StackTrace:
+		queue = e.stackTraceQueue(free)
+	case Random:
+		queue = e.randomQueue(free)
+	}
+
+	for round := 1; round <= e.o.MaxRounds && round <= len(queue); round++ {
+		cand := queue[round-1]
+		res, rd := e.executeRound(round, inject.Exact(cand), 0, 1, 0)
+		if rd.Injected != nil && e.t.Oracle.Satisfied(res) {
+			rd.Satisfied = true
+			e.report.RoundLog = append(e.report.RoundLog, *rd)
+			e.report.Rounds = round
+			e.report.Reproduced = true
+			e.report.Script = rd.Injected
+			e.report.ScriptSeed = e.o.Seed + int64(round)
+			return
+		}
+		e.report.RoundLog = append(e.report.RoundLog, *rd)
+		e.report.Rounds = round
+	}
+}
+
+// exhaustiveQueue enumerates every instance of every causal-graph site in
+// deterministic order — the §8.3 "exhaustive fault instance" variant. It
+// still benefits from the causal graph (site pruning) but has no dynamic
+// prioritization.
+func (e *engine) exhaustiveQueue() []inject.Instance {
+	var out []inject.Instance
+	for _, s := range e.sites {
+		for _, inst := range s.instances {
+			out = append(out, inject.Instance{Site: s.id, Occurrence: inst.occ})
+		}
+	}
+	return out
+}
+
+// fateQueue models FATE's failure-ID exploration: it has no causal graph,
+// so it covers every site exercised by the workload; failure IDs collapse
+// repeated occurrences, so it explores breadth-first across sites (first
+// occurrence of every site, then second of every site, ...).
+func (e *engine) fateQueue(free *cluster.Result) []inject.Instance {
+	counts := free.Counts
+	siteIDs := make([]string, 0, len(counts))
+	maxOcc := 0
+	for s, c := range counts {
+		siteIDs = append(siteIDs, s)
+		if c > maxOcc {
+			maxOcc = c
+		}
+	}
+	sort.Strings(siteIDs)
+	var out []inject.Instance
+	for occ := 1; occ <= maxOcc; occ++ {
+		for _, s := range siteIDs {
+			if counts[s] >= occ {
+				out = append(out, inject.Instance{Site: s, Occurrence: occ})
+			}
+		}
+	}
+	return out
+}
+
+// metaInfoTokens approximate CrashTuner's meta-info variables: sites in
+// code regions that read or write node/task membership state.
+var metaInfoTokens = []string{
+	"election", "accept", "connect", "register", "announce", "join",
+	"startup", "start", "recover", "lease", "assign", "claim", "rebalance",
+}
+
+// crashTunerQueue models CrashTuner: inject around meta-info access points
+// only — the first and last occurrences of each matching site (crash-
+// recovery windows), ordered by site.
+func (e *engine) crashTunerQueue(free *cluster.Result) []inject.Instance {
+	counts := free.Counts
+	siteIDs := make([]string, 0, len(counts))
+	for s := range counts {
+		for _, tok := range metaInfoTokens {
+			if strings.Contains(s, tok) {
+				siteIDs = append(siteIDs, s)
+				break
+			}
+		}
+	}
+	sort.Strings(siteIDs)
+	var out []inject.Instance
+	for _, s := range siteIDs {
+		out = append(out, inject.Instance{Site: s, Occurrence: 1})
+	}
+	for _, s := range siteIDs {
+		if c := counts[s]; c > 1 {
+			out = append(out, inject.Instance{Site: s, Occurrence: c})
+		}
+	}
+	for _, s := range siteIDs {
+		if c := counts[s]; c > 2 {
+			out = append(out, inject.Instance{Site: s, Occurrence: 2})
+		}
+	}
+	return out
+}
+
+// stackTraceQueue models the stacktrace-injector of §8.4: it extracts the
+// fault sites named in the failure log's error messages (our fault errors
+// render as "Kind at site (occurrence n)", the analog of a logged stack
+// trace) and injects only at those, every occurrence in order.
+func (e *engine) stackTraceQueue(free *cluster.Result) []inject.Instance {
+	counts := free.Counts
+	mentioned := map[string]bool{}
+	for _, entry := range e.t.FailureLog {
+		for site := range counts {
+			if strings.Contains(entry.Msg, site) {
+				mentioned[site] = true
+			}
+		}
+	}
+	siteIDs := make([]string, 0, len(mentioned))
+	for s := range mentioned {
+		siteIDs = append(siteIDs, s)
+	}
+	sort.Strings(siteIDs)
+	var out []inject.Instance
+	// Interleave occurrences across the mentioned sites so one very hot
+	// site does not starve the others.
+	maxOcc := 0
+	for _, s := range siteIDs {
+		if counts[s] > maxOcc {
+			maxOcc = counts[s]
+		}
+	}
+	for occ := 1; occ <= maxOcc; occ++ {
+		for _, s := range siteIDs {
+			if counts[s] >= occ {
+				out = append(out, inject.Instance{Site: s, Occurrence: occ})
+			}
+		}
+	}
+	return out
+}
+
+// randomQueue models chaos-style random injection over the whole dynamic
+// fault space, without replacement.
+func (e *engine) randomQueue(free *cluster.Result) []inject.Instance {
+	var all []inject.Instance
+	siteIDs := make([]string, 0, len(free.Counts))
+	for s := range free.Counts {
+		siteIDs = append(siteIDs, s)
+	}
+	sort.Strings(siteIDs)
+	for _, s := range siteIDs {
+		for occ := 1; occ <= free.Counts[s]; occ++ {
+			all = append(all, inject.Instance{Site: s, Occurrence: occ})
+		}
+	}
+	rng := rand.New(rand.NewSource(e.o.Seed ^ 0x5eed))
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	return all
+}

@@ -1,0 +1,230 @@
+// Package des implements a deterministic discrete-event simulation kernel.
+//
+// All five target distributed systems in this repository run on top of this
+// kernel. A Sim owns a virtual clock and an event queue; "threads" of the
+// simulated systems are named actors whose work is broken into events.
+// Determinism: given the same seed and the same sequence of Schedule calls,
+// a Sim executes events in exactly the same order, which makes every fault
+// injection round replayable.
+//
+// The kernel is intentionally small: events, timers, condition variables
+// (Cond) for blocking-style code, and per-actor bookkeeping used to detect
+// stuck threads (a primary failure symptom in the paper's dataset).
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Time is virtual time in nanoseconds since the start of the simulation.
+type Time int64
+
+// Millisecond and friends convert familiar durations into virtual time.
+const (
+	Microsecond Time = 1000
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Duration converts a time.Duration into virtual Time.
+func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Event is a unit of work executed at a virtual instant on behalf of a
+// named actor (the simulated thread).
+type event struct {
+	at     Time
+	seq    uint64 // tie-breaker: FIFO among events at the same instant
+	actor  string
+	fn     func()
+	cancel *bool
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Sim is a single deterministic simulation run.
+type Sim struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	rng     *rand.Rand
+	current string // actor whose event is executing
+
+	executed int
+	stopped  bool
+
+	// blocked tracks actors waiting on a Cond, keyed by actor name, with a
+	// human-readable label of what they are waiting for. It backs the
+	// "thread stuck at X" oracles.
+	blocked map[string]string
+
+	// crashed actors refuse further events; used to model process aborts.
+	crashed map[string]bool
+
+	// OnIdle, if non-nil, is invoked when the event queue drains before the
+	// time horizon; it may schedule more work (e.g. a workload driver).
+	OnIdle func()
+}
+
+// New creates a simulation with a deterministic RNG seed.
+func New(seed int64) *Sim {
+	s := &Sim{
+		rng:     rand.New(rand.NewSource(seed)),
+		blocked: make(map[string]string),
+		crashed: make(map[string]bool),
+	}
+	heap.Init(&s.queue)
+	return s
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand returns the simulation's deterministic random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// Current returns the name of the actor whose event is executing, or ""
+// outside event dispatch.
+func (s *Sim) Current() string { return s.current }
+
+// Executed reports how many events have run so far.
+func (s *Sim) Executed() int { return s.executed }
+
+// Schedule runs fn on behalf of actor after delay. It returns a cancel
+// function; cancelling an already-executed event is a no-op.
+func (s *Sim) Schedule(actor string, delay Time, fn func()) (cancel func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	flag := new(bool)
+	s.seq++
+	heap.Push(&s.queue, &event{at: s.now + delay, seq: s.seq, actor: actor, fn: fn, cancel: flag})
+	return func() { *flag = true }
+}
+
+// Go is Schedule with zero delay: the actor's next runnable step.
+func (s *Sim) Go(actor string, fn func()) { s.Schedule(actor, 0, fn) }
+
+// Every schedules fn on actor repeatedly with the given period until the
+// returned cancel function is called or the simulation ends.
+func (s *Sim) Every(actor string, period Time, fn func()) (cancel func()) {
+	stopped := new(bool)
+	var tick func()
+	tick = func() {
+		if *stopped || s.crashed[actor] {
+			return
+		}
+		fn()
+		if !*stopped {
+			s.Schedule(actor, period, tick)
+		}
+	}
+	s.Schedule(actor, period, tick)
+	return func() { *stopped = true }
+}
+
+// Jitter returns a random virtual duration in [0, max), for modelling
+// scheduling and network variance deterministically.
+func (s *Sim) Jitter(max Time) Time {
+	if max <= 0 {
+		return 0
+	}
+	return Time(s.rng.Int63n(int64(max)))
+}
+
+// Crash marks an actor as crashed: its pending and future events are
+// silently discarded, modelling a process abort.
+func (s *Sim) Crash(actor string) { s.crashed[actor] = true }
+
+// Crashed reports whether the actor has been crashed.
+func (s *Sim) Crashed(actor string) bool { return s.crashed[actor] }
+
+// Stop ends the simulation after the current event.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Run executes events until the queue drains, the horizon passes, or Stop
+// is called. It returns the number of events executed.
+func (s *Sim) Run(horizon Time) int {
+	start := s.executed
+	for !s.stopped {
+		if len(s.queue) == 0 {
+			if s.OnIdle != nil {
+				idle := s.OnIdle
+				s.OnIdle = nil
+				idle()
+				if len(s.queue) > 0 {
+					continue
+				}
+			}
+			break
+		}
+		e := heap.Pop(&s.queue).(*event)
+		if e.at > horizon {
+			// Put it back; simulation paused at the horizon.
+			heap.Push(&s.queue, e)
+			break
+		}
+		if *e.cancel || s.crashed[e.actor] {
+			continue
+		}
+		s.now = e.at
+		s.current = e.actor
+		e.fn()
+		s.current = ""
+		s.executed++
+	}
+	return s.executed - start
+}
+
+// markBlocked and unmark are used by Cond.
+func (s *Sim) markBlocked(actor, label string) { s.blocked[actor] = label }
+func (s *Sim) unmarkBlocked(actor string)      { delete(s.blocked, actor) }
+
+// Blocked returns a sorted list of "actor: label" strings for actors that
+// are currently waiting on a condition. A non-empty result after a run has
+// quiesced is the kernel-level signal behind "thread stuck" symptoms.
+func (s *Sim) Blocked() []string {
+	out := make([]string, 0, len(s.blocked))
+	for a, l := range s.blocked {
+		out = append(out, fmt.Sprintf("%s: %s", a, l))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BlockedOn reports whether any actor is blocked with the given label.
+func (s *Sim) BlockedOn(label string) bool {
+	for _, l := range s.blocked {
+		if l == label {
+			return true
+		}
+	}
+	return false
+}
+
+// BlockedActor returns the label the given actor is blocked on, if any.
+func (s *Sim) BlockedActor(actor string) (string, bool) {
+	l, ok := s.blocked[actor]
+	return l, ok
+}

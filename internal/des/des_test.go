@@ -1,0 +1,221 @@
+package des
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.Schedule("a", 30, func() { got = append(got, 3) })
+	s.Schedule("a", 10, func() { got = append(got, 1) })
+	s.Schedule("a", 20, func() { got = append(got, 2) })
+	s.Run(Second)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if s.Now() != 30 {
+		t.Fatalf("clock = %d, want 30", s.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule("a", 5, func() { got = append(got, i) })
+	}
+	s.Run(Second)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("FIFO violated at %d: %v", i, got)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New(1)
+	ran := false
+	cancel := s.Schedule("a", 10, func() { ran = true })
+	cancel()
+	s.Run(Second)
+	if ran {
+		t.Fatal("cancelled event ran")
+	}
+}
+
+func TestHorizonPausesAndResumes(t *testing.T) {
+	s := New(1)
+	ran := 0
+	s.Schedule("a", 10, func() { ran++ })
+	s.Schedule("a", 100, func() { ran++ })
+	s.Run(50)
+	if ran != 1 {
+		t.Fatalf("ran=%d before horizon, want 1", ran)
+	}
+	s.Run(200)
+	if ran != 2 {
+		t.Fatalf("ran=%d after resume, want 2", ran)
+	}
+}
+
+func TestEveryAndCancel(t *testing.T) {
+	s := New(1)
+	n := 0
+	cancel := s.Every("ticker", 10, func() {
+		n++
+		if n == 5 {
+			s.Stop()
+		}
+	})
+	s.Run(Second)
+	cancel()
+	if n != 5 {
+		t.Fatalf("ticks=%d, want 5", n)
+	}
+}
+
+func TestCrashDiscardsEvents(t *testing.T) {
+	s := New(1)
+	ran := false
+	s.Schedule("victim", 10, func() { ran = true })
+	s.Schedule("killer", 5, func() { s.Crash("victim") })
+	s.Run(Second)
+	if ran {
+		t.Fatal("crashed actor's event ran")
+	}
+	if !s.Crashed("victim") {
+		t.Fatal("victim not marked crashed")
+	}
+}
+
+func TestCurrentActor(t *testing.T) {
+	s := New(1)
+	var inside string
+	s.Schedule("worker-1", 1, func() { inside = s.Current() })
+	s.Run(Second)
+	if inside != "worker-1" {
+		t.Fatalf("Current()=%q inside event, want worker-1", inside)
+	}
+	if s.Current() != "" {
+		t.Fatalf("Current()=%q outside event, want empty", s.Current())
+	}
+}
+
+func TestCondSignalWakesFIFO(t *testing.T) {
+	s := New(1)
+	c := NewCond(s, "queue-ready")
+	var woke []string
+	s.Go("w1", func() { c.Wait("w1", func() { woke = append(woke, "w1") }) })
+	s.Go("w2", func() { c.Wait("w2", func() { woke = append(woke, "w2") }) })
+	s.Schedule("sig", 10, func() { c.Signal() })
+	s.Schedule("sig", 20, func() { c.Signal() })
+	s.Run(Second)
+	if len(woke) != 2 || woke[0] != "w1" || woke[1] != "w2" {
+		t.Fatalf("wake order: %v", woke)
+	}
+	if c.Waiters() != 0 {
+		t.Fatalf("waiters left: %d", c.Waiters())
+	}
+}
+
+func TestCondBlockedTracking(t *testing.T) {
+	s := New(1)
+	c := NewCond(s, "safe-point")
+	s.Go("roller", func() { c.Wait("roller", func() {}) })
+	s.Run(Second)
+	if !s.BlockedOn("safe-point") {
+		t.Fatal("expected roller blocked on safe-point")
+	}
+	if lbl, ok := s.BlockedActor("roller"); !ok || lbl != "safe-point" {
+		t.Fatalf("BlockedActor=%q,%v", lbl, ok)
+	}
+	c.Broadcast()
+	s.Run(Second)
+	if s.BlockedOn("safe-point") {
+		t.Fatal("still blocked after broadcast")
+	}
+}
+
+func TestCondWaitTimeout(t *testing.T) {
+	s := New(1)
+	c := NewCond(s, "ack")
+	var outcome string
+	s.Go("client", func() {
+		c.WaitTimeout("client", 100, func() { outcome = "signalled" }, func() { outcome = "timeout" })
+	})
+	s.Run(Second)
+	if outcome != "timeout" {
+		t.Fatalf("outcome=%q, want timeout", outcome)
+	}
+
+	s2 := New(1)
+	c2 := NewCond(s2, "ack")
+	outcome = ""
+	fired := 0
+	s2.Go("client", func() {
+		c2.WaitTimeout("client", 100, func() { outcome = "signalled"; fired++ }, func() { outcome = "timeout"; fired++ })
+	})
+	s2.Schedule("server", 50, func() { c2.Signal() })
+	s2.Run(Second)
+	if outcome != "signalled" || fired != 1 {
+		t.Fatalf("outcome=%q fired=%d, want signalled once", outcome, fired)
+	}
+}
+
+func TestOnIdleDriver(t *testing.T) {
+	s := New(1)
+	ran := false
+	s.OnIdle = func() { s.Go("driver", func() { ran = true }) }
+	s.Run(Second)
+	if !ran {
+		t.Fatal("OnIdle work did not run")
+	}
+}
+
+// Property: a Sim with the same seed and same schedule executes identically.
+func TestDeterminismProperty(t *testing.T) {
+	run := func(seed int64) []int64 {
+		s := New(seed)
+		var trace []int64
+		for i := 0; i < 20; i++ {
+			d := Time(s.Rand().Int63n(1000))
+			s.Schedule("a", d, func() { trace = append(trace, int64(s.Now())) })
+		}
+		s.Run(Second)
+		return trace
+	}
+	f := func(seed int64) bool {
+		a, b := run(seed), run(seed)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: jitter is always within bounds.
+func TestJitterBounds(t *testing.T) {
+	s := New(42)
+	f := func(max int16) bool {
+		m := Time(max)
+		j := s.Jitter(m)
+		if m <= 0 {
+			return j == 0
+		}
+		return j >= 0 && j < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,66 @@
+package eval
+
+import (
+	"fmt"
+
+	"anduril/internal/core"
+	"anduril/internal/failures"
+)
+
+// ablationSetting is one design-choice toggle from §5.1–§5.2.5.
+type ablationSetting struct {
+	name   string
+	mutate func(*core.Options)
+}
+
+var ablationSettings = []ablationSetting{
+	{"baseline (paper's choices)", func(o *core.Options) {}},
+	{"sum aggregation (vs min)", func(o *core.Options) { o.AggregateSum = true }},
+	{"temporal by order (vs log distance)", func(o *core.Options) { o.TemporalByOrder = true }},
+	{"fixed window (vs doubling)", func(o *core.Options) { o.FixedWindow = true }},
+	{"global diff (vs per-thread)", func(o *core.Options) { o.GlobalDiff = true }},
+}
+
+// AblationTable evaluates the design-choice toggles over the whole dataset
+// with the full-feedback algorithm: reproduced count, total rounds, and
+// which failures each setting loses.
+func AblationTable(opt Options) (*Table, error) {
+	opt = opt.withDefaults()
+	targets, err := buildTargets()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "Ablations: design choices of §5.1-§5.2.5 (full feedback, whole dataset)",
+		Header: []string{"Setting", "Reproduced", "Total rounds", "Lost failures"},
+	}
+	for _, setting := range ablationSettings {
+		reproduced, totalRounds := 0, 0
+		lost := ""
+		for _, s := range failures.All() {
+			opts := core.Options{Strategy: core.FullFeedback, Seed: opt.Seed, MaxRounds: opt.MaxRounds}
+			setting.mutate(&opts)
+			rep := core.Reproduce(targets[s.ID], opts)
+			if rep.Reproduced {
+				reproduced++
+				totalRounds += rep.Rounds
+				continue
+			}
+			totalRounds += opt.MaxRounds
+			if lost != "" {
+				lost += " "
+			}
+			lost += s.ID
+		}
+		if lost == "" {
+			lost = "-"
+		}
+		t.Rows = append(t.Rows, []string{
+			setting.name,
+			fmt.Sprintf("%d/22", reproduced),
+			fmt.Sprint(totalRounds),
+			lost,
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,157 @@
+// Package eval regenerates every table and figure of the paper's
+// evaluation (§8 and the appendix) against the Go reproduction. Each
+// TableN/FigureN function runs the corresponding experiment and returns a
+// formatted table; cmd/tables and the repository-level benchmarks are thin
+// wrappers around these.
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"anduril/internal/core"
+	"anduril/internal/failures"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Options tune the evaluation runs.
+type Options struct {
+	Seed      int64
+	MaxRounds int // cap standing in for the paper's 24-hour limit
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 500
+	}
+	return o
+}
+
+// systems lists the five target systems in Table 1 order.
+var systems = []string{"zk", "dfs", "tablestore", "mq", "kvstore"}
+
+// systemLabel maps internal names to the analog of the paper's systems.
+var systemLabel = map[string]string{
+	"zk":         "zk (ZooKeeper analog)",
+	"dfs":        "dfs (HDFS analog)",
+	"tablestore": "tablestore (HBase analog)",
+	"mq":         "mq (Kafka analog)",
+	"kvstore":    "kvstore (Cassandra analog)",
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	default:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	}
+}
+
+var (
+	targetMu    sync.Mutex
+	targetCache map[string]*core.Target
+)
+
+// buildTargets assembles explorer targets for every scenario, caching them
+// across tables (failure logs and analyses are deterministic).
+func buildTargets() (map[string]*core.Target, error) {
+	targetMu.Lock()
+	defer targetMu.Unlock()
+	if targetCache != nil {
+		return targetCache, nil
+	}
+	out := make(map[string]*core.Target)
+	for _, s := range failures.All() {
+		tgt, err := s.BuildTarget()
+		if err != nil {
+			return nil, fmt.Errorf("build target %s: %w", s.ID, err)
+		}
+		out[s.ID] = tgt
+	}
+	targetCache = out
+	return out, nil
+}
+
+func medianInt(vals []int) int {
+	if len(vals) == 0 {
+		return 0
+	}
+	sortInts(vals)
+	return vals[len(vals)/2]
+}
+
+func medianDur(vals []time.Duration) time.Duration {
+	if len(vals) == 0 {
+		return 0
+	}
+	for i := 1; i < len(vals); i++ {
+		for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
+			vals[j], vals[j-1] = vals[j-1], vals[j]
+		}
+	}
+	return vals[len(vals)/2]
+}
+
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

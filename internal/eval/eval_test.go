@@ -1,0 +1,163 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"anduril/internal/core"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		Title:  "demo",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"x", "1"}, {"yyyy", "22"}},
+		Notes:  []string{"n1"},
+	}
+	out := tbl.Render()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "long-header") || !strings.Contains(out, "note: n1") {
+		t.Fatalf("render:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("lines=%d:\n%s", len(lines), out)
+	}
+}
+
+func TestTable1(t *testing.T) {
+	tbl, err := Table1FaultSites(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows=%d", len(tbl.Rows))
+	}
+	t.Logf("\n%s", tbl.Render())
+}
+
+func TestTable2FullFeedbackOnly(t *testing.T) {
+	tbl, err := Table2Efficacy(Options{MaxRounds: 100}, []core.Strategy{core.FullFeedback})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 22 {
+		t.Fatalf("rows=%d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if row[1] == "-" {
+			t.Errorf("%s not reproduced by full feedback", row[0])
+		}
+	}
+}
+
+func TestTable4And8(t *testing.T) {
+	t4, err := Table4Performance(Options{MaxRounds: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t4.Rows) != 5 {
+		t.Fatalf("t4 rows=%d", len(t4.Rows))
+	}
+	t8, err := Table8Runtime(Options{MaxRounds: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t8.Rows) != 22 {
+		t.Fatalf("t8 rows=%d", len(t8.Rows))
+	}
+}
+
+func TestTable7(t *testing.T) {
+	tbl, err := Table7StaticAnalysis(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 5 {
+		t.Fatalf("rows=%d", len(tbl.Rows))
+	}
+	t.Logf("\n%s", tbl.Render())
+}
+
+func TestFigure6(t *testing.T) {
+	tbl, err := Figure6RankTrajectory(Options{MaxRounds: 300}, "f17")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("no trajectory rows")
+	}
+	t.Logf("\n%s", tbl.Render())
+}
+
+func TestVerifyAllInvariant(t *testing.T) {
+	if err := verifyAll(Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable5And6AndAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	opt := Options{MaxRounds: 80}
+	t5, err := Table5Failures(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t5.Rows) != 22 {
+		t.Fatalf("t5 rows=%d", len(t5.Rows))
+	}
+	// The stacktrace baseline must reproduce a strict subset.
+	st := 0
+	for _, row := range t5.Rows {
+		if row[2] != "-" {
+			st++
+		}
+	}
+	if st == 0 || st == 22 {
+		t.Fatalf("stacktrace reproduced %d — expected a strict subset", st)
+	}
+
+	t6, err := Table6NewRootCauses(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t6.Rows) == 0 {
+		t.Fatal("no new root causes surfaced")
+	}
+	for _, row := range t6.Rows {
+		if row[3] != "true" {
+			t.Errorf("unverified new root cause: %v", row)
+		}
+	}
+
+	ab, err := AblationTable(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ab.Rows) != 5 {
+		t.Fatalf("ablation rows=%d", len(ab.Rows))
+	}
+	if ab.Rows[0][1] != "22/22" {
+		t.Fatalf("baseline ablation: %v", ab.Rows[0])
+	}
+}
+
+func TestTable3Lite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tbl, err := Table3Sensitivity(Options{MaxRounds: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 {
+		t.Fatalf("rows=%d", len(tbl.Rows))
+	}
+	// The default setting (k=10, s=+1) must reproduce everything.
+	for i, cell := range tbl.Rows[2][1:] {
+		if cell == "-" {
+			t.Errorf("k=10 failed on %s", tbl.Header[i+1])
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Package failures holds the 22-failure dataset (f1–f22) mirroring the
+// real-world issues of Table 5. Each scenario packages the paper's four
+// inputs for one failure: the target system (its code is what the analyzer
+// instruments), a driving workload, a failure oracle, and a production
+// failure log.
+//
+// The failure log is produced the way the paper does for tickets without
+// one (§8): the ground-truth fault is injected once, under a seed disjoint
+// from the explorer's, and the resulting log is rendered to text and parsed
+// back — so the explorer only ever sees what a production log file carries.
+package failures
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"anduril/internal/analysis"
+	"anduril/internal/cluster"
+	"anduril/internal/core"
+	"anduril/internal/des"
+	"anduril/internal/inject"
+	"anduril/internal/logging"
+	"anduril/internal/oracle"
+)
+
+// Scenario is one dataset entry.
+type Scenario struct {
+	ID          string // "f1" .. "f22"
+	Issue       string // upstream issue id, e.g. "ZK-2247"
+	System      string // "zk", "dfs", "tablestore", "mq", "kvstore"
+	Description string
+	Kind        inject.Kind // fault type of the root cause (Table 5)
+
+	Workload cluster.Workload
+	Horizon  des.Time
+	Oracle   oracle.Oracle
+	SrcDirs  []string // source directories the Instrumenter analyzes
+
+	// RootSite is the ground-truth root-cause fault site.
+	RootSite string
+	// FindRoot locates the ground-truth dynamic instance in a free run's
+	// trace (the right site at the right occurrence). The seed of the free
+	// run is passed for scenarios that must trial-inject to confirm it.
+	FindRoot func(free *cluster.Result, seed int64) (inject.Instance, bool)
+
+	// NewRootCause, when non-empty, describes the deeper root cause the
+	// explorer can expose for this failure (Table 6 analog).
+	NewRootCause string
+}
+
+// FailureSeed is the seed of the simulated "production" run that generated
+// the failure log; the explorer's rounds use unrelated seeds.
+const FailureSeed = 9999
+
+var (
+	analysisMu    sync.Mutex
+	analysisCache = map[string]*analysis.Result{}
+)
+
+// Analyze returns the (cached) static analysis for the scenario's system.
+func (s *Scenario) Analyze() (*analysis.Result, error) {
+	key := fmt.Sprint(s.SrcDirs)
+	analysisMu.Lock()
+	defer analysisMu.Unlock()
+	if res, ok := analysisCache[key]; ok {
+		return res, nil
+	}
+	res, err := analysis.AnalyzePackages(s.SrcDirs)
+	if err != nil {
+		return nil, err
+	}
+	analysisCache[key] = res
+	return res, nil
+}
+
+// GroundTruth finds the root-cause instance under the given seed.
+func (s *Scenario) GroundTruth(seed int64) (inject.Instance, error) {
+	free := cluster.Execute(seed, nil, true, s.Workload, s.Horizon)
+	inst, ok := s.FindRoot(free, seed)
+	if !ok {
+		return inject.Instance{}, fmt.Errorf("%s: ground-truth instance not found in free run", s.ID)
+	}
+	return inst, nil
+}
+
+// FailureLog produces the production failure log: one run with the
+// ground-truth fault injected, rendered to text and parsed back.
+func (s *Scenario) FailureLog() ([]logging.Entry, error) {
+	inst, err := s.GroundTruth(FailureSeed)
+	if err != nil {
+		return nil, err
+	}
+	res := cluster.Execute(FailureSeed, inject.Exact(inst), false, s.Workload, s.Horizon)
+	if !s.Oracle.Satisfied(res) {
+		return nil, fmt.Errorf("%s: ground-truth injection %v does not satisfy the oracle", s.ID, inst)
+	}
+	text := res.RenderLog()
+	return logging.Parse(text), nil
+}
+
+// BuildTarget assembles the explorer's Target for this scenario.
+func (s *Scenario) BuildTarget() (*core.Target, error) {
+	an, err := s.Analyze()
+	if err != nil {
+		return nil, err
+	}
+	flog, err := s.FailureLog()
+	if err != nil {
+		return nil, err
+	}
+	return &core.Target{
+		ID:          s.ID,
+		Issue:       s.Issue,
+		System:      s.System,
+		Description: s.Description,
+		Workload:    s.Workload,
+		Horizon:     s.Horizon,
+		Oracle:      s.Oracle,
+		FailureLog:  flog,
+		Analysis:    an,
+		RootSite:    s.RootSite,
+	}, nil
+}
+
+var registry []*Scenario
+
+func register(s *Scenario) { registry = append(registry, s) }
+
+// All returns every scenario in dataset order (f1..f22), regardless of
+// package initialization order.
+func All() []*Scenario {
+	out := append([]*Scenario(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return scenarioNum(out[i].ID) < scenarioNum(out[j].ID) })
+	return out
+}
+
+func scenarioNum(id string) int {
+	n := 0
+	fmt.Sscanf(id, "f%d", &n)
+	return n
+}
+
+// ByID returns the scenario with the given dataset or issue id.
+func ByID(id string) (*Scenario, bool) {
+	for _, s := range registry {
+		if s.ID == id || s.Issue == id {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// BySystem returns the scenarios targeting one system.
+func BySystem(system string) []*Scenario {
+	var out []*Scenario
+	for _, s := range registry {
+		if s.System == system {
+			out = append(out, s)
+		}
+	}
+	return out
+}

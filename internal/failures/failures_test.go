@@ -1,0 +1,103 @@
+package failures
+
+import (
+	"testing"
+
+	"anduril/internal/cluster"
+	"anduril/internal/inject"
+)
+
+// TestScenarioInvariants checks, for every registered scenario, the three
+// properties the paper's problem statement requires: the workload alone
+// does not trigger the failure; injecting the ground-truth fault does; and
+// the failure log generation round-trips.
+func TestScenarioInvariants(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.ID, func(t *testing.T) {
+			// 1. No fault, no failure.
+			free := cluster.Execute(FailureSeed, nil, true, s.Workload, s.Horizon)
+			if s.Oracle.Satisfied(free) {
+				t.Fatalf("%s: oracle satisfied without any fault", s.ID)
+			}
+			// 2. Ground truth reproduces.
+			inst, ok := s.FindRoot(free, FailureSeed)
+			if !ok {
+				t.Fatalf("%s: ground truth not found", s.ID)
+			}
+			if inst.Site != s.RootSite {
+				t.Fatalf("%s: ground truth site %s != declared %s", s.ID, inst.Site, s.RootSite)
+			}
+			res := cluster.Execute(FailureSeed, inject.Exact(inst), false, s.Workload, s.Horizon)
+			if !s.Oracle.Satisfied(res) {
+				t.Fatalf("%s: ground truth %v does not reproduce\n%s", s.ID, inst, res.RenderLog())
+			}
+			// 3. Failure log is non-trivial.
+			flog, err := s.FailureLog()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(flog) < 10 {
+				t.Fatalf("%s: failure log has only %d entries", s.ID, len(flog))
+			}
+		})
+	}
+}
+
+// TestGroundTruthStableAcrossSeeds verifies the ground truth can be located
+// and reproduces under several seeds (the explorer runs rounds under
+// different seeds than the failure log).
+func TestGroundTruthStableAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	for _, s := range All() {
+		s := s
+		t.Run(s.ID, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				free := cluster.Execute(seed, nil, true, s.Workload, s.Horizon)
+				inst, ok := s.FindRoot(free, seed)
+				if !ok {
+					t.Fatalf("seed %d: ground truth not found", seed)
+				}
+				res := cluster.Execute(seed, inject.Exact(inst), false, s.Workload, s.Horizon)
+				if !s.Oracle.Satisfied(res) {
+					t.Errorf("seed %d: %v does not reproduce", seed, inst)
+				}
+			}
+		})
+	}
+}
+
+func TestRegistryLookups(t *testing.T) {
+	if len(All()) != 22 {
+		t.Fatalf("only %d scenarios registered", len(All()))
+	}
+	if _, ok := ByID("f1"); !ok {
+		t.Fatal("f1 missing")
+	}
+	if _, ok := ByID("ZK-2247"); !ok {
+		t.Fatal("issue lookup failed")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("bogus lookup succeeded")
+	}
+	if len(BySystem("zk")) != 4 {
+		t.Fatalf("zk scenarios: %d", len(BySystem("zk")))
+	}
+	if len(BySystem("dfs")) != 7 {
+		t.Fatalf("dfs scenarios: %d", len(BySystem("dfs")))
+	}
+}
+
+func TestAnalyzeCached(t *testing.T) {
+	s, _ := ByID("f1")
+	a1, err := s.Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, _ := s.Analyze()
+	if a1 != a2 {
+		t.Fatal("analysis not cached")
+	}
+}

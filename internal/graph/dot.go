@@ -1,0 +1,82 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the causal graph in Graphviz format, for inspecting what the
+// static analysis inferred. Fault sites are boxes, log statements are
+// ellipses, handlers are diamonds; maxNodes caps the output for large
+// graphs (0 = no cap, highest-degree nodes kept first).
+func (g *Graph) DOT(title string, maxNodes int) string {
+	nodes := g.Nodes()
+	if maxNodes > 0 && len(nodes) > maxNodes {
+		// Keep the best-connected nodes so the excerpt stays meaningful.
+		deg := make(map[string]int, len(nodes))
+		for id, outs := range g.out {
+			deg[id] += len(outs)
+		}
+		for id, ins := range g.in {
+			deg[id] += len(ins)
+		}
+		sort.SliceStable(nodes, func(i, j int) bool { return deg[nodes[i].ID] > deg[nodes[j].ID] })
+		nodes = nodes[:maxNodes]
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	}
+	keep := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		keep[n.ID] = true
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [fontsize=9];\n", title)
+	for _, n := range nodes {
+		shape, color := "ellipse", "gray70"
+		label := n.ID
+		switch {
+		case n.IsFaultSite():
+			shape, color = "box", "indianred"
+			label = n.Site
+		case n.Kind == Handler:
+			shape, color = "diamond", "goldenrod"
+		case n.Kind == Condition:
+			shape, color = "hexagon", "skyblue"
+		case n.Kind == Invocation:
+			shape, color = "cds", "gray80"
+		case n.Kind == InternalException:
+			shape, color = "octagon", "plum"
+		case n.Kind == Location && n.Template != "":
+			shape, color = "ellipse", "palegreen"
+			label = truncate(n.Template, 40)
+		}
+		fmt.Fprintf(&b, "  %q [shape=%s,style=filled,fillcolor=%s,label=%q];\n", n.ID, shape, color, label)
+	}
+	ids := make([]string, 0, len(g.out))
+	for id := range g.out {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if !keep[id] {
+			continue
+		}
+		outs := append([]string(nil), g.out[id]...)
+		sort.Strings(outs)
+		for _, to := range outs {
+			if keep[to] {
+				fmt.Fprintf(&b, "  %q -> %q;\n", id, to)
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

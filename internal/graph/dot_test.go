@@ -1,0 +1,56 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDOTRendersAllKinds(t *testing.T) {
+	g := buildDiamond(t)
+	dot := g.DOT("demo", 0)
+	if !strings.HasPrefix(dot, "digraph \"demo\"") {
+		t.Fatalf("header: %q", dot[:40])
+	}
+	for _, frag := range []string{"sys.op", "op failed", "->", "indianred", "palegreen"} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("DOT missing %q", frag)
+		}
+	}
+	// Edge count: 6 edges in the diamond.
+	if got := strings.Count(dot, "->"); got != 6 {
+		t.Errorf("edges in DOT: %d", got)
+	}
+}
+
+func TestDOTCapsNodes(t *testing.T) {
+	g := New()
+	for i := 0; i < 50; i++ {
+		g.AddNode(Node{ID: string(rune('A'+i%26)) + string(rune('0'+i/26)), Kind: Location})
+	}
+	dot := g.DOT("capped", 10)
+	if got := strings.Count(dot, "shape="); got != 10 {
+		t.Errorf("nodes in capped DOT: %d", got)
+	}
+}
+
+func TestDOTOmitsEdgesToDroppedNodes(t *testing.T) {
+	g := buildDiamond(t)
+	// Keep only 2 nodes: every surviving edge must connect kept nodes.
+	dot := g.DOT("tiny", 2)
+	for _, line := range strings.Split(dot, "\n") {
+		if strings.Contains(line, "->") {
+			if strings.Count(dot, "shape=") != 2 {
+				t.Fatalf("unexpected node count")
+			}
+		}
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	if got := truncate("short", 10); got != "short" {
+		t.Fatalf("truncate short: %q", got)
+	}
+	if got := truncate("averylongtemplate", 8); len(got) > 10 || !strings.HasSuffix(got, "…") {
+		t.Fatalf("truncate long: %q", got)
+	}
+}

@@ -1,0 +1,278 @@
+// Package inject is the fault-injection runtime compiled into the target
+// systems — the Go analog of the FIR instrumentation in Figure 3 of the
+// paper. A fault site in a target system is an explicit hook:
+//
+//	if err := env.FI.Reach("dfs.datanode.receiveBlock.write", inject.IO); err != nil {
+//		// handle like a real I/O failure
+//	}
+//
+// Reach plays both instrumented roles at once: traceSite (record the
+// dynamic occurrence, thread, and logical log position of the site) and
+// throwIfEnabled (consult the round's injection plan and return a Fault
+// error when the explorer wants one injected here).
+//
+// Faults are Go errors rather than thrown exceptions; the Kind mirrors the
+// exception types of Table 5 (IOException, SocketException, ...).
+package inject
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"anduril/internal/des"
+)
+
+// Kind is the class of fault an injection produces, mirroring the exception
+// types the paper injects.
+type Kind string
+
+// Fault kinds observed in the paper's 22-failure dataset.
+const (
+	IO           Kind = "IOError"
+	Timeout      Kind = "TimeoutError"
+	Socket       Kind = "SocketError"
+	FileNotFound Kind = "FileNotFoundError"
+	Interrupted  Kind = "InterruptedError"
+	Connection   Kind = "ConnectionError"
+	Checksum     Kind = "ChecksumError"
+	State        Kind = "IllegalStateError"
+)
+
+// Fault is the error value injected at a fault site.
+type Fault struct {
+	Kind       Kind
+	Site       string
+	Occurrence int // 1-based dynamic occurrence of the site in this run
+}
+
+// Error renders the fault the way the production system's exception would
+// appear in a log: the kind and the faulting frame, but nothing about the
+// dynamic occurrence (timing never shows up in real logs).
+func (f *Fault) Error() string {
+	return fmt.Sprintf("%s at %s", f.Kind, f.Site)
+}
+
+// Is lets errors.Is match any *Fault against a prototype with the same
+// Kind (Site empty in the target matches all sites).
+func (f *Fault) Is(target error) bool {
+	t, ok := target.(*Fault)
+	if !ok {
+		return false
+	}
+	return (t.Kind == "" || t.Kind == f.Kind) && (t.Site == "" || t.Site == f.Site)
+}
+
+// KindErr returns a prototype error for errors.Is matching by kind.
+func KindErr(k Kind) error { return &Fault{Kind: k} }
+
+// AsFault extracts the *Fault from an error chain, if present.
+func AsFault(err error) (*Fault, bool) {
+	var f *Fault
+	if errors.As(err, &f) {
+		return f, true
+	}
+	return nil, false
+}
+
+// TraceEvent records one dynamic reach of a fault site.
+type TraceEvent struct {
+	Site       string
+	Occurrence int      // 1-based per-site occurrence index
+	Thread     string   // actor executing when the site was reached
+	LogPos     int      // logical time: log records emitted before the reach
+	Time       des.Time // virtual time of the reach
+	Injected   bool     // whether this reach produced a fault
+}
+
+// Instance names a dynamic fault candidate f_{i,j}: site i, occurrence j.
+type Instance struct {
+	Site       string
+	Occurrence int
+}
+
+// Plan decides which reaches of fault sites inject a fault during a round.
+type Plan interface {
+	// Decide is consulted on every reach. Returning true injects a fault at
+	// this exact reach. At most one reach per round injects; the Runtime
+	// stops consulting after the first injection.
+	Decide(site string, occurrence int) bool
+}
+
+// exactPlan injects at one precise dynamic instance.
+type exactPlan struct{ inst Instance }
+
+func (p exactPlan) Decide(site string, occ int) bool {
+	return site == p.inst.Site && occ == p.inst.Occurrence
+}
+
+// Exact returns a plan injecting at exactly one dynamic instance — the
+// deterministic reproduction script of step 4.a in the workflow.
+func Exact(inst Instance) Plan { return exactPlan{inst} }
+
+// windowPlan injects at the first reach that matches any candidate — the
+// flexible priority window of §5.2.5.
+type windowPlan struct{ candidates map[Instance]bool }
+
+func (p windowPlan) Decide(site string, occ int) bool {
+	return p.candidates[Instance{Site: site, Occurrence: occ}]
+}
+
+// Window returns a plan that injects at whichever candidate instance is
+// reached first in the round.
+func Window(candidates []Instance) Plan {
+	m := make(map[Instance]bool, len(candidates))
+	for _, c := range candidates {
+		m[c] = true
+	}
+	return windowPlan{m}
+}
+
+// Budgeter lets a plan request more than one injection per round. The
+// paper's ANDURIL performs a single injection per round (§3); the
+// iterative multi-fault extension composes plans and raises the budget.
+type Budgeter interface {
+	Budget() int
+}
+
+// multiPlan composes plans: each sub-plan may fire once, so a round can
+// carry several causally-independent faults.
+type multiPlan struct {
+	plans []Plan
+	fired []bool
+}
+
+// Multi composes the given plans into one plan with an injection budget of
+// len(plans). Each sub-plan injects at most once.
+func Multi(plans ...Plan) Plan {
+	return &multiPlan{plans: plans, fired: make([]bool, len(plans))}
+}
+
+func (p *multiPlan) Decide(site string, occ int) bool {
+	for i, sub := range p.plans {
+		if p.fired[i] || sub == nil {
+			continue
+		}
+		if sub.Decide(site, occ) {
+			p.fired[i] = true
+			return true
+		}
+	}
+	return false
+}
+
+// Budget implements Budgeter.
+func (p *multiPlan) Budget() int { return len(p.plans) }
+
+// Runtime is the per-run injection state. The harness wires LogPos, Thread
+// and Now to the run's logger and simulation before the workload starts.
+type Runtime struct {
+	LogPos func() int
+	Thread func() string
+	Now    func() des.Time
+
+	plan Plan
+
+	counts    map[string]int
+	trace     []TraceEvent
+	injected  []TraceEvent
+	budget    int
+	kinds     map[string]Kind // site -> kind observed at runtime
+	decisions int
+	decNanos  int64
+
+	// KeepTrace controls whether every reach is recorded. The free run
+	// keeps the full trace (the explorer needs the instance timeline);
+	// injection rounds can disable it to keep rounds cheap, as §7 does.
+	KeepTrace bool
+}
+
+// NewRuntime creates an injection runtime executing the given plan
+// (nil means never inject — the free run of workflow step 1). The
+// injection budget is 1 per round, as in the paper, unless the plan is a
+// Budgeter.
+func NewRuntime(plan Plan) *Runtime {
+	budget := 1
+	if b, ok := plan.(Budgeter); ok {
+		budget = b.Budget()
+	}
+	return &Runtime{
+		plan:      plan,
+		budget:    budget,
+		counts:    make(map[string]int),
+		kinds:     make(map[string]Kind),
+		KeepTrace: true,
+	}
+}
+
+// Reach is the instrumented hook at a fault site. It records the dynamic
+// occurrence and returns a non-nil *Fault if the plan injects here.
+func (r *Runtime) Reach(site string, kind Kind) error {
+	r.counts[site]++
+	occ := r.counts[site]
+	r.kinds[site] = kind
+
+	inject := false
+	if r.plan != nil && len(r.injected) < r.budget {
+		start := time.Now()
+		inject = r.plan.Decide(site, occ)
+		r.decNanos += time.Since(start).Nanoseconds()
+		r.decisions++
+	}
+
+	if r.KeepTrace || inject {
+		ev := TraceEvent{Site: site, Occurrence: occ, Injected: inject}
+		if r.LogPos != nil {
+			ev.LogPos = r.LogPos()
+		}
+		if r.Thread != nil {
+			ev.Thread = r.Thread()
+		}
+		if r.Now != nil {
+			ev.Time = r.Now()
+		}
+		if r.KeepTrace {
+			r.trace = append(r.trace, ev)
+		}
+		if inject {
+			r.injected = append(r.injected, ev)
+		}
+	}
+
+	if inject {
+		return &Fault{Kind: kind, Site: site, Occurrence: occ}
+	}
+	return nil
+}
+
+// Trace returns the recorded reaches (empty if KeepTrace was off).
+func (r *Runtime) Trace() []TraceEvent { return r.trace }
+
+// Injected returns the reach at which the round's (first) fault was
+// injected, if any.
+func (r *Runtime) Injected() (TraceEvent, bool) {
+	if len(r.injected) == 0 {
+		return TraceEvent{}, false
+	}
+	return r.injected[0], true
+}
+
+// InjectedAll returns every injected reach of the round (more than one
+// only under a Multi plan).
+func (r *Runtime) InjectedAll() []TraceEvent { return r.injected }
+
+// Counts returns per-site dynamic occurrence counts for the run.
+func (r *Runtime) Counts() map[string]int { return r.counts }
+
+// Kind reports the fault kind a site declared when reached.
+func (r *Runtime) Kind(site string) (Kind, bool) {
+	k, ok := r.kinds[site]
+	return k, ok
+}
+
+// Decisions returns how many injection requests the plan was consulted for
+// and the total decision latency — the "Inject. Req." and latency columns
+// of Table 4.
+func (r *Runtime) Decisions() (count int, total time.Duration) {
+	return r.decisions, time.Duration(r.decNanos)
+}

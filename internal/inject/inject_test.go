@@ -1,0 +1,251 @@
+package inject
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoPlanNeverInjects(t *testing.T) {
+	r := NewRuntime(nil)
+	for i := 0; i < 100; i++ {
+		if err := r.Reach("s1", IO); err != nil {
+			t.Fatalf("unexpected injection: %v", err)
+		}
+	}
+	if c := r.Counts()["s1"]; c != 100 {
+		t.Fatalf("count=%d", c)
+	}
+	if _, ok := r.Injected(); ok {
+		t.Fatal("injected reported without plan")
+	}
+	if len(r.Trace()) != 100 {
+		t.Fatalf("trace len=%d", len(r.Trace()))
+	}
+}
+
+func TestExactPlanInjectsOnce(t *testing.T) {
+	r := NewRuntime(Exact(Instance{Site: "s1", Occurrence: 3}))
+	var faults []error
+	for i := 0; i < 5; i++ {
+		if err := r.Reach("s1", Timeout); err != nil {
+			faults = append(faults, err)
+		}
+	}
+	if len(faults) != 1 {
+		t.Fatalf("faults=%d, want 1", len(faults))
+	}
+	f, ok := AsFault(faults[0])
+	if !ok || f.Site != "s1" || f.Occurrence != 3 || f.Kind != Timeout {
+		t.Fatalf("fault: %+v", f)
+	}
+	ev, ok := r.Injected()
+	if !ok || ev.Occurrence != 3 || !ev.Injected {
+		t.Fatalf("injected event: %+v ok=%v", ev, ok)
+	}
+}
+
+func TestExactPlanWrongSite(t *testing.T) {
+	r := NewRuntime(Exact(Instance{Site: "other", Occurrence: 1}))
+	for i := 0; i < 10; i++ {
+		if err := r.Reach("s1", IO); err != nil {
+			t.Fatalf("injected at wrong site: %v", err)
+		}
+	}
+}
+
+func TestWindowPlanFirstReachedWins(t *testing.T) {
+	r := NewRuntime(Window([]Instance{
+		{Site: "a", Occurrence: 2},
+		{Site: "b", Occurrence: 1},
+	}))
+	if err := r.Reach("a", IO); err != nil {
+		t.Fatalf("a#1 should not inject: %v", err)
+	}
+	if err := r.Reach("b", Socket); err == nil {
+		t.Fatal("b#1 should inject")
+	}
+	// After one injection the runtime stops injecting.
+	if err := r.Reach("a", IO); err != nil {
+		t.Fatalf("a#2 injected after window consumed: %v", err)
+	}
+	ev, _ := r.Injected()
+	if ev.Site != "b" || ev.Occurrence != 1 {
+		t.Fatalf("injected: %+v", ev)
+	}
+}
+
+func TestFaultErrorsIsMatching(t *testing.T) {
+	var err error = &Fault{Kind: IO, Site: "s", Occurrence: 1}
+	if !errors.Is(err, KindErr(IO)) {
+		t.Fatal("kind match failed")
+	}
+	if errors.Is(err, KindErr(Timeout)) {
+		t.Fatal("kind mismatch matched")
+	}
+	wrapped := fmt.Errorf("sync failed: %w", err)
+	if !errors.Is(wrapped, KindErr(IO)) {
+		t.Fatal("wrapped kind match failed")
+	}
+	f, ok := AsFault(wrapped)
+	if !ok || f.Site != "s" {
+		t.Fatal("AsFault through wrap failed")
+	}
+}
+
+func TestTraceRecordsPositions(t *testing.T) {
+	pos := 0
+	r := NewRuntime(nil)
+	r.LogPos = func() int { return pos }
+	r.Thread = func() string { return "worker" }
+	r.Reach("s", IO)
+	pos = 7
+	r.Reach("s", IO)
+	tr := r.Trace()
+	if tr[0].LogPos != 0 || tr[1].LogPos != 7 {
+		t.Fatalf("logpos: %d %d", tr[0].LogPos, tr[1].LogPos)
+	}
+	if tr[0].Thread != "worker" || tr[1].Occurrence != 2 {
+		t.Fatalf("trace: %+v", tr)
+	}
+}
+
+func TestKeepTraceOff(t *testing.T) {
+	r := NewRuntime(Exact(Instance{Site: "s", Occurrence: 2}))
+	r.KeepTrace = false
+	r.Reach("s", IO)
+	r.Reach("s", IO)
+	if len(r.Trace()) != 0 {
+		t.Fatalf("trace kept: %d", len(r.Trace()))
+	}
+	if ev, ok := r.Injected(); !ok || ev.Occurrence != 2 {
+		t.Fatalf("injection not recorded: %+v %v", ev, ok)
+	}
+}
+
+func TestDecisionsCounted(t *testing.T) {
+	r := NewRuntime(Exact(Instance{Site: "s", Occurrence: 100}))
+	for i := 0; i < 50; i++ {
+		r.Reach("s", IO)
+	}
+	n, _ := r.Decisions()
+	if n != 50 {
+		t.Fatalf("decisions=%d, want 50", n)
+	}
+}
+
+func TestKindRecorded(t *testing.T) {
+	r := NewRuntime(nil)
+	r.Reach("s", Checksum)
+	if k, ok := r.Kind("s"); !ok || k != Checksum {
+		t.Fatalf("kind=%v ok=%v", k, ok)
+	}
+	if _, ok := r.Kind("unknown"); ok {
+		t.Fatal("unknown site has kind")
+	}
+}
+
+// Property: occurrences are dense, 1-based, and per-site independent.
+func TestOccurrenceProperty(t *testing.T) {
+	f := func(reaches []uint8) bool {
+		r := NewRuntime(nil)
+		want := map[string]int{}
+		for _, b := range reaches {
+			site := fmt.Sprintf("site-%d", b%5)
+			want[site]++
+			r.Reach(site, IO)
+		}
+		for s, n := range want {
+			if r.Counts()[s] != n {
+				return false
+			}
+		}
+		// Trace occurrences per site must be 1..n in order.
+		seen := map[string]int{}
+		for _, ev := range r.Trace() {
+			seen[ev.Site]++
+			if ev.Occurrence != seen[ev.Site] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: an Exact plan injects iff the instance is reached, and exactly once.
+func TestExactPlanProperty(t *testing.T) {
+	f := func(occ uint8, total uint8) bool {
+		target := int(occ%20) + 1
+		n := int(total % 40)
+		r := NewRuntime(Exact(Instance{Site: "s", Occurrence: target}))
+		injections := 0
+		for i := 0; i < n; i++ {
+			if r.Reach("s", IO) != nil {
+				injections++
+			}
+		}
+		if n >= target {
+			return injections == 1
+		}
+		return injections == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiPlanBudgetAndNilSubplans(t *testing.T) {
+	plan := Multi(nil, Exact(Instance{Site: "a", Occurrence: 1}))
+	if b, ok := plan.(Budgeter); !ok || b.Budget() != 2 {
+		t.Fatalf("budget: %v", plan)
+	}
+	r := NewRuntime(plan)
+	if r.Reach("a", IO) == nil {
+		t.Fatal("a#1 should inject despite the nil subplan")
+	}
+	// Each subplan fires at most once.
+	if r.Reach("a", IO) != nil {
+		t.Fatal("a#2 should not inject")
+	}
+}
+
+func TestFaultIsMatchesSiteAndKind(t *testing.T) {
+	var err error = &Fault{Kind: Socket, Site: "net.op", Occurrence: 2}
+	if !errors.Is(err, &Fault{}) {
+		t.Fatal("empty prototype should match any fault")
+	}
+	if !errors.Is(err, &Fault{Site: "net.op"}) {
+		t.Fatal("site-only prototype should match")
+	}
+	if errors.Is(err, &Fault{Site: "other"}) {
+		t.Fatal("wrong site matched")
+	}
+	if errors.Is(err, errors.New("plain")) {
+		t.Fatal("non-fault target matched")
+	}
+}
+
+func TestWindowEmptyNeverInjects(t *testing.T) {
+	r := NewRuntime(Window(nil))
+	for i := 0; i < 10; i++ {
+		if r.Reach("s", IO) != nil {
+			t.Fatal("empty window injected")
+		}
+	}
+}
+
+func TestRuntimeHooksOptional(t *testing.T) {
+	// A runtime with no LogPos/Thread/Now hooks must still trace safely.
+	r := NewRuntime(Exact(Instance{Site: "s", Occurrence: 1}))
+	if err := r.Reach("s", IO); err == nil {
+		t.Fatal("should inject")
+	}
+	ev, ok := r.Injected()
+	if !ok || ev.Thread != "" || ev.LogPos != 0 {
+		t.Fatalf("event: %+v", ev)
+	}
+}

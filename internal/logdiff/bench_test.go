@@ -1,0 +1,67 @@
+package logdiff
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"anduril/internal/logging"
+)
+
+// synthLog builds a deterministic pseudo-log with t threads and n entries.
+func synthLog(seed int64, threads, n int, mutate bool) []logging.Entry {
+	r := rand.New(rand.NewSource(seed))
+	msgs := []string{
+		"Committing zxid=0x%d", "Synced %d entries", "Heartbeat from node %d",
+		"Flushed region r%d", "Replicated %d entries to peer", "Lease renewed for client %d",
+	}
+	out := make([]logging.Entry, 0, n)
+	for i := 0; i < n; i++ {
+		tmpl := msgs[r.Intn(len(msgs))]
+		if mutate && i%97 == 0 {
+			tmpl = "Unexpected exception in worker %d"
+		}
+		out = append(out, logging.Entry{
+			Thread: fmt.Sprintf("worker-%d", r.Intn(threads)),
+			Level:  logging.Info,
+			Msg:    fmt.Sprintf(tmpl, r.Intn(1000)),
+		})
+	}
+	return out
+}
+
+// BenchmarkCompare measures the per-round log diff (Algorithm 2's COMPARE),
+// the hottest explorer operation (the paper rewrote theirs in C, §7).
+func BenchmarkCompare(b *testing.B) {
+	for _, size := range []int{200, 1000, 5000} {
+		b.Run(fmt.Sprintf("entries-%d", size), func(b *testing.B) {
+			run := synthLog(1, 8, size, false)
+			failure := synthLog(2, 8, size, true)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Compare(run, failure)
+			}
+		})
+	}
+}
+
+// BenchmarkAlignmentMap measures timeline projection.
+func BenchmarkAlignmentMap(b *testing.B) {
+	run := synthLog(1, 8, 2000, false)
+	failure := synthLog(2, 8, 2000, true)
+	res := Compare(run, failure)
+	al := NewAlignment(res, len(run), len(failure))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		al.Map(i % len(run))
+	}
+}
+
+// BenchmarkSanitize measures message normalization.
+func BenchmarkSanitize(b *testing.B) {
+	msg := "2024-11-04 09:00:00,123 received block blk_1073741825 of size 67108864 from /10.0.0.17:50010"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sanitize(msg)
+	}
+}

@@ -1,0 +1,318 @@
+// Package logdiff implements the log-comparison machinery of §5.1 and the
+// timeline alignment of §5.2.3.
+//
+// A naive textual diff of two distributed-system logs fails for the reasons
+// the paper gives: timestamps make every line unique, and concurrent
+// threads interleave differently across runs. The pipeline here follows the
+// paper exactly:
+//
+//  1. sanitize entries (timestamps are already stripped by parsing; volatile
+//     numeric fields are normalized away);
+//  2. group entries by thread name;
+//  3. run the Myers difference algorithm per thread;
+//  4. messages present only in the failure log — plus every message of
+//     threads that exist only in the failure log — are the relevant
+//     observables;
+//  5. the per-thread LCS matches double as anchor points to map positions
+//     on a run's timeline onto the failure log's timeline (piecewise linear
+//     interval scaling), which the temporal-distance feedback needs.
+package logdiff
+
+import (
+	"sort"
+	"strings"
+
+	"anduril/internal/logging"
+)
+
+// Key identifies an observable: a sanitized message on a thread. Thread
+// names are kept verbatim (developers name threads deliberately, §5.1.1);
+// message bodies are sanitized.
+type Key struct {
+	Thread string
+	Msg    string
+}
+
+// Sanitize normalizes a log message: every maximal run of decimal digits
+// becomes '#'. This removes counters, ports, sizes, offsets and other
+// volatile fields while preserving message identity, the same role the
+// paper's timestamp/field sanitization plays.
+func Sanitize(msg string) string {
+	var b strings.Builder
+	b.Grow(len(msg))
+	inDigits := false
+	for i := 0; i < len(msg); i++ {
+		c := msg[i]
+		if c >= '0' && c <= '9' {
+			if !inDigits {
+				b.WriteByte('#')
+				inDigits = true
+			}
+			continue
+		}
+		inDigits = false
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+// byThread groups entries by thread, remembering each entry's global
+// position in the log.
+type posEntry struct {
+	global int
+	msg    string // sanitized
+}
+
+func byThread(entries []logging.Entry) map[string][]posEntry {
+	m := make(map[string][]posEntry)
+	for i, e := range entries {
+		m[e.Thread] = append(m[e.Thread], posEntry{global: i, msg: Sanitize(e.Msg)})
+	}
+	return m
+}
+
+// matchPair is one LCS match between two logs, in global positions.
+type matchPair struct{ a, b int }
+
+// myers computes the LCS matches between two string sequences using the
+// Myers O(ND) algorithm. It returns index pairs (i in a, j in b) of matched
+// elements, in increasing order.
+func myers(a, b []string) [][2]int {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return nil
+	}
+	max := n + m
+	// v[k+max] = furthest x along diagonal k.
+	v := make([]int, 2*max+1)
+	trace := make([][]int, 0, max+1)
+	var dFinal int
+	found := false
+	for d := 0; d <= max && !found; d++ {
+		snapshot := make([]int, len(v))
+		copy(snapshot, v)
+		trace = append(trace, snapshot)
+		for k := -d; k <= d; k += 2 {
+			var x int
+			if k == -d || (k != d && v[k-1+max] < v[k+1+max]) {
+				x = v[k+1+max]
+			} else {
+				x = v[k-1+max] + 1
+			}
+			y := x - k
+			for x < n && y < m && a[x] == b[y] {
+				x++
+				y++
+			}
+			v[k+max] = x
+			if x >= n && y >= m {
+				dFinal = d
+				found = true
+				break
+			}
+		}
+	}
+	// Backtrack to recover matches.
+	var matches [][2]int
+	x, y := n, m
+	for d := dFinal; d > 0; d-- {
+		vd := trace[d] // furthest-reaching endpoints after d-1 steps
+		k := x - y
+		var prevK int
+		if k == -d || (k != d && vd[k-1+max] < vd[k+1+max]) {
+			prevK = k + 1
+		} else {
+			prevK = k - 1
+		}
+		prevX := vd[prevK+max]
+		prevY := prevX - prevK
+		// Snake: equal elements walked over after the edit step.
+		for x > prevX && y > prevY {
+			x--
+			y--
+			matches = append(matches, [2]int{x, y})
+		}
+		// The edit step itself consumes one element of a or b.
+		x, y = prevX, prevY
+	}
+	// Leading snake at d=0.
+	for x > 0 && y > 0 {
+		x--
+		y--
+		matches = append(matches, [2]int{x, y})
+	}
+	// Reverse into increasing order.
+	for i, j := 0, len(matches)-1; i < j; i, j = i+1, j-1 {
+		matches[i], matches[j] = matches[j], matches[i]
+	}
+	return matches
+}
+
+// Result is the outcome of comparing a run log against the failure log.
+type Result struct {
+	// Missing maps each observable that appears in the failure log but not
+	// in the run log to its global positions in the failure log.
+	Missing map[Key][]int
+	// Matches are LCS anchor points: (run global pos, failure global pos),
+	// sorted by run position and strictly increasing on both sides.
+	Matches []matchPair
+}
+
+// MissingKeys returns the Missing set as a sorted slice for deterministic
+// iteration.
+func (r *Result) MissingKeys() []Key {
+	out := make([]Key, 0, len(r.Missing))
+	for k := range r.Missing {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Thread != out[j].Thread {
+			return out[i].Thread < out[j].Thread
+		}
+		return out[i].Msg < out[j].Msg
+	})
+	return out
+}
+
+// Compare diffs a run log against the failure log per thread (§5.1.1). The
+// returned Missing set is exactly "messages that only appear in the failure
+// log": the relevant observables on the first call, and the still-missing
+// observables on each feedback round.
+func Compare(run, failure []logging.Entry) *Result {
+	res := &Result{Missing: make(map[Key][]int)}
+	runTh := byThread(run)
+	failTh := byThread(failure)
+
+	for thread, fEntries := range failTh {
+		rEntries := runTh[thread]
+		if len(rEntries) == 0 {
+			// Thread absent from the run log: every message is relevant.
+			for _, fe := range fEntries {
+				k := Key{Thread: thread, Msg: fe.msg}
+				res.Missing[k] = append(res.Missing[k], fe.global)
+			}
+			continue
+		}
+		ra := make([]string, len(rEntries))
+		for i, e := range rEntries {
+			ra[i] = e.msg
+		}
+		fb := make([]string, len(fEntries))
+		for i, e := range fEntries {
+			fb[i] = e.msg
+		}
+		matches := myers(ra, fb)
+		matchedB := make([]bool, len(fb))
+		for _, m := range matches {
+			matchedB[m[1]] = true
+			res.Matches = append(res.Matches, matchPair{a: rEntries[m[0]].global, b: fEntries[m[1]].global})
+		}
+		for j, ok := range matchedB {
+			if ok {
+				continue
+			}
+			k := Key{Thread: thread, Msg: fb[j]}
+			res.Missing[k] = append(res.Missing[k], fEntries[j].global)
+		}
+	}
+
+	// Sort anchors by run position and enforce monotonicity on the failure
+	// side (longest-nondecreasing filter) so the alignment is a function.
+	sort.Slice(res.Matches, func(i, j int) bool { return res.Matches[i].a < res.Matches[j].a })
+	res.Matches = monotonic(res.Matches)
+	return res
+}
+
+// monotonic keeps a longest subsequence of anchors whose failure positions
+// are strictly increasing (classic LIS, O(n log n)).
+func monotonic(pairs []matchPair) []matchPair {
+	if len(pairs) == 0 {
+		return pairs
+	}
+	tails := []int{} // indices into pairs
+	prev := make([]int, len(pairs))
+	for i := range prev {
+		prev[i] = -1
+	}
+	for i, p := range pairs {
+		lo, hi := 0, len(tails)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if pairs[tails[mid]].b < p.b {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo > 0 {
+			prev[i] = tails[lo-1]
+		}
+		if lo == len(tails) {
+			tails = append(tails, i)
+		} else {
+			tails[lo] = i
+		}
+	}
+	out := make([]matchPair, 0, len(tails))
+	for i := tails[len(tails)-1]; i >= 0; i = prev[i] {
+		out = append(out, pairs[i])
+	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// Alignment maps logical positions on a run's timeline onto the failure
+// log's timeline using the LCS anchors, scaling linearly within each
+// matched interval (§5.2.3). This is how the explorer estimates where a
+// fault instance observed in the free run would sit in the production
+// failure timeline.
+type Alignment struct {
+	anchors []matchPair
+	runLen  int
+	failLen int
+}
+
+// NewAlignment builds an alignment from a Compare result.
+func NewAlignment(res *Result, runLen, failLen int) *Alignment {
+	return &Alignment{anchors: res.Matches, runLen: runLen, failLen: failLen}
+}
+
+// Map projects a run-log position onto the failure-log timeline.
+func (al *Alignment) Map(runPos int) float64 {
+	if len(al.anchors) == 0 {
+		// No anchors: scale proportionally.
+		if al.runLen == 0 {
+			return 0
+		}
+		return float64(runPos) * float64(al.failLen) / float64(al.runLen)
+	}
+	// Before the first anchor.
+	first := al.anchors[0]
+	if runPos <= first.a {
+		if first.a == 0 {
+			return float64(first.b)
+		}
+		return float64(runPos) * float64(first.b) / float64(first.a)
+	}
+	// Between anchors.
+	for i := 1; i < len(al.anchors); i++ {
+		lo, hi := al.anchors[i-1], al.anchors[i]
+		if runPos <= hi.a {
+			if hi.a == lo.a {
+				return float64(hi.b)
+			}
+			frac := float64(runPos-lo.a) / float64(hi.a-lo.a)
+			return float64(lo.b) + frac*float64(hi.b-lo.b)
+		}
+	}
+	// After the last anchor.
+	last := al.anchors[len(al.anchors)-1]
+	remRun := al.runLen - last.a
+	remFail := al.failLen - last.b
+	if remRun <= 0 {
+		return float64(last.b)
+	}
+	return float64(last.b) + float64(runPos-last.a)*float64(remFail)/float64(remRun)
+}

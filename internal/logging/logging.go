@@ -1,0 +1,217 @@
+// Package logging provides the run logger for the simulated systems and the
+// log-file model that ANDURIL's explorer consumes.
+//
+// The paper uses log messages as the observables of an execution (§3): they
+// are cheap to collect, they mark state transitions, and they can be
+// statically tied to program points. This package mirrors the properties
+// that matter there:
+//
+//   - every record carries a thread (actor) name, because the explorer
+//     diffs logs per thread (§5.1.1);
+//   - every record keeps its constant format string (the "template"), which
+//     is what the static analyzer extracts from source and what observables
+//     are matched against;
+//   - the logical position of a record (its sequence number) defines the
+//     logical timeline used by the temporal-distance feedback (§5.2.3);
+//   - records render to timestamped text lines — the shape of a production
+//     log file — and can be parsed back, because the failure log input is
+//     plain text from an uninstrumented deployment.
+package logging
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"anduril/internal/des"
+)
+
+// Level is a log severity.
+type Level int
+
+// Severities, lowest to highest.
+const (
+	Debug Level = iota
+	Info
+	Warn
+	Error
+)
+
+func (l Level) String() string {
+	switch l {
+	case Debug:
+		return "DEBUG"
+	case Info:
+		return "INFO"
+	case Warn:
+		return "WARN"
+	case Error:
+		return "ERROR"
+	default:
+		return fmt.Sprintf("LEVEL(%d)", int(l))
+	}
+}
+
+// ParseLevel converts a severity token back to a Level.
+func ParseLevel(s string) (Level, bool) {
+	switch s {
+	case "DEBUG":
+		return Debug, true
+	case "INFO":
+		return Info, true
+	case "WARN":
+		return Warn, true
+	case "ERROR":
+		return Error, true
+	}
+	return Info, false
+}
+
+// Record is one log message emitted during a simulated run.
+type Record struct {
+	Seq      int      // 0-based logical position in the run's timeline
+	Time     des.Time // virtual time of emission
+	Thread   string   // emitting actor ("main" outside event dispatch)
+	Level    Level
+	Template string // the constant format string at the log statement
+	Msg      string // rendered message
+}
+
+// Log collects the records of a single run.
+type Log struct {
+	sim     *des.Sim
+	records []Record
+}
+
+// New creates a logger bound to a simulation (for time and thread names).
+func New(sim *des.Sim) *Log { return &Log{sim: sim} }
+
+// Pos returns the number of records emitted so far — the current logical
+// time on the run's timeline.
+func (l *Log) Pos() int { return len(l.records) }
+
+// Records returns all records emitted so far.
+func (l *Log) Records() []Record { return l.records }
+
+func (l *Log) emit(level Level, format string, args ...interface{}) {
+	thread := "main"
+	var at des.Time
+	if l.sim != nil {
+		if c := l.sim.Current(); c != "" {
+			thread = c
+		}
+		at = l.sim.Now()
+	}
+	l.records = append(l.records, Record{
+		Seq:      len(l.records),
+		Time:     at,
+		Thread:   thread,
+		Level:    level,
+		Template: format,
+		Msg:      fmt.Sprintf(format, args...),
+	})
+}
+
+// Debugf logs at Debug severity.
+func (l *Log) Debugf(format string, args ...interface{}) { l.emit(Debug, format, args...) }
+
+// Infof logs at Info severity.
+func (l *Log) Infof(format string, args ...interface{}) { l.emit(Info, format, args...) }
+
+// Warnf logs at Warn severity.
+func (l *Log) Warnf(format string, args ...interface{}) { l.emit(Warn, format, args...) }
+
+// Errorf logs at Error severity.
+func (l *Log) Errorf(format string, args ...interface{}) { l.emit(Error, format, args...) }
+
+// baseWall anchors rendered timestamps; the exact value is irrelevant since
+// the explorer sanitizes timestamps away, but it makes rendered logs look
+// like real production logs.
+var baseWall = time.Date(2024, 11, 4, 9, 0, 0, 0, time.UTC)
+
+// RenderLine formats a record the way a Log4j-style production logger
+// would: "2024-11-04 09:00:00,123 [thread] LEVEL message".
+func RenderLine(r Record) string {
+	t := baseWall.Add(time.Duration(r.Time))
+	return fmt.Sprintf("%s,%03d [%s] %s %s",
+		t.Format("2006-01-02 15:04:05"), t.Nanosecond()/1e6, r.Thread, r.Level, r.Msg)
+}
+
+// Render formats the whole run log as production-style text.
+func (l *Log) Render() string {
+	var b strings.Builder
+	for _, r := range l.records {
+		b.WriteString(RenderLine(r))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Entry is a parsed production log line: what the explorer can recover from
+// an uninstrumented system's log file (no template, no seq — just text).
+type Entry struct {
+	Thread string
+	Level  Level
+	Msg    string
+}
+
+// ParseLine parses one rendered production-style line. It tolerates the
+// common "date time,millis [thread] LEVEL msg" convention; lines that do
+// not match return ok=false (real logs contain stack-trace continuation
+// lines and other noise).
+func ParseLine(line string) (Entry, bool) {
+	// Expect: "YYYY-MM-DD HH:MM:SS,mmm [thread] LEVEL msg"
+	rest := line
+	sp1 := strings.IndexByte(rest, ' ')
+	if sp1 < 0 {
+		return Entry{}, false
+	}
+	sp2 := strings.IndexByte(rest[sp1+1:], ' ')
+	if sp2 < 0 {
+		return Entry{}, false
+	}
+	rest = rest[sp1+1+sp2+1:]
+	if !strings.HasPrefix(rest, "[") {
+		return Entry{}, false
+	}
+	close := strings.IndexByte(rest, ']')
+	if close < 0 {
+		return Entry{}, false
+	}
+	thread := rest[1:close]
+	rest = strings.TrimPrefix(rest[close+1:], " ")
+	sp3 := strings.IndexByte(rest, ' ')
+	if sp3 < 0 {
+		return Entry{}, false
+	}
+	lvl, ok := ParseLevel(rest[:sp3])
+	if !ok {
+		return Entry{}, false
+	}
+	return Entry{Thread: thread, Level: lvl, Msg: rest[sp3+1:]}, true
+}
+
+// Parse parses a production-style log file into entries, skipping
+// unparseable lines.
+func Parse(text string) []Entry {
+	var out []Entry
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if e, ok := ParseLine(line); ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Entries converts a run's records into parsed-entry form so in-process
+// runs and parsed production logs flow through the same diff pipeline.
+func (l *Log) Entries() []Entry {
+	out := make([]Entry, len(l.records))
+	for i, r := range l.records {
+		out[i] = Entry{Thread: r.Thread, Level: r.Level, Msg: r.Msg}
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+// Package simdisk is the simulated persistent storage for the target
+// systems. Paths are namespaced by node ("zk1/txnlog/log.1"), so data
+// survives a simulated process restart within a run but is private to each
+// run. Every operation carries an explicit fault-site ID: the disk boundary
+// is where the paper injects IOException/FileNotFoundException for its JVM
+// targets, and the same external-exception fault sites live here.
+package simdisk
+
+import (
+	"sort"
+	"strings"
+
+	"anduril/internal/inject"
+)
+
+// Disk is an in-memory filesystem for one simulated run.
+type Disk struct {
+	fi    *inject.Runtime
+	files map[string][]byte
+}
+
+// New creates an empty disk wired to the run's injection runtime.
+func New(fi *inject.Runtime) *Disk {
+	return &Disk{fi: fi, files: make(map[string][]byte)}
+}
+
+// Create makes an empty file (truncating any previous content). site is the
+// fault site of the create call.
+func (d *Disk) Create(site, path string) error {
+	if err := d.fi.Reach(site, inject.IO); err != nil {
+		return err
+	}
+	d.files[path] = nil
+	return nil
+}
+
+// Append adds data to the end of path, creating it if absent.
+func (d *Disk) Append(site, path string, data []byte) error {
+	if err := d.fi.Reach(site, inject.IO); err != nil {
+		return err
+	}
+	d.files[path] = append(d.files[path], data...)
+	return nil
+}
+
+// Write replaces the content of path.
+func (d *Disk) Write(site, path string, data []byte) error {
+	if err := d.fi.Reach(site, inject.IO); err != nil {
+		return err
+	}
+	d.files[path] = append([]byte(nil), data...)
+	return nil
+}
+
+// Read returns the content of path; a missing file is a FileNotFoundError
+// from the environment (not an injected fault).
+func (d *Disk) Read(site, path string) ([]byte, error) {
+	if err := d.fi.Reach(site, inject.FileNotFound); err != nil {
+		return nil, err
+	}
+	data, ok := d.files[path]
+	if !ok {
+		return nil, &inject.Fault{Kind: inject.FileNotFound, Site: "env.disk.missing"}
+	}
+	return append([]byte(nil), data...), nil
+}
+
+// Sync models an fsync barrier; it is a fault site but otherwise a no-op.
+func (d *Disk) Sync(site, path string) error {
+	return d.fi.Reach(site, inject.IO)
+}
+
+// Rename moves a file; renaming a missing file is a FileNotFoundError.
+func (d *Disk) Rename(site, oldPath, newPath string) error {
+	if err := d.fi.Reach(site, inject.IO); err != nil {
+		return err
+	}
+	data, ok := d.files[oldPath]
+	if !ok {
+		return &inject.Fault{Kind: inject.FileNotFound, Site: "env.disk.missing"}
+	}
+	delete(d.files, oldPath)
+	d.files[newPath] = data
+	return nil
+}
+
+// Delete removes a file if present.
+func (d *Disk) Delete(site, path string) error {
+	if err := d.fi.Reach(site, inject.IO); err != nil {
+		return err
+	}
+	delete(d.files, path)
+	return nil
+}
+
+// Exists reports whether path exists. Pure metadata; not a fault site.
+func (d *Disk) Exists(path string) bool {
+	_, ok := d.files[path]
+	return ok
+}
+
+// Size returns the length of path's content (0 if absent).
+func (d *Disk) Size(path string) int { return len(d.files[path]) }
+
+// List returns the sorted paths under the given prefix.
+func (d *Disk) List(prefix string) []string {
+	var out []string
+	for p := range d.files {
+		if strings.HasPrefix(p, prefix) {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,179 @@
+// Package simnet is the simulated network the five target systems run on.
+//
+// Every send and RPC carries an explicit fault-site ID, so the network
+// boundary is where external-exception fault sites live — the same place
+// the paper injects SocketException/IOException for its JVM targets. The
+// injection hook fires on the sender's side before the message leaves, and
+// an injected fault surfaces to the caller as an ordinary error from the
+// environment.
+package simnet
+
+import (
+	"fmt"
+
+	"anduril/internal/des"
+	"anduril/internal/inject"
+	"anduril/internal/logging"
+)
+
+// Message is a one-way datagram between named nodes.
+type Message struct {
+	From    string
+	To      string
+	Type    string
+	Payload interface{}
+}
+
+// Handler processes an incoming message on the receiving node. respond is
+// non-nil only for RPC-style calls; calling it completes the caller's
+// continuation.
+type Handler func(msg Message, respond func(payload interface{}, err error))
+
+type endpoint struct {
+	actor   string
+	handler Handler
+}
+
+// Net is an in-memory network with configurable latency, per-node
+// down-state, and pairwise partitions.
+type Net struct {
+	sim *des.Sim
+	fi  *inject.Runtime
+	log *logging.Log
+
+	minLat, maxLat des.Time
+	handlers       map[string]map[string]endpoint
+	down           map[string]bool
+	partitioned    map[[2]string]bool
+}
+
+// New creates a network. Latency of each delivery is uniform in
+// [minLat, maxLat), drawn from the simulation's deterministic RNG.
+func New(sim *des.Sim, fi *inject.Runtime, log *logging.Log, minLat, maxLat des.Time) *Net {
+	if maxLat < minLat {
+		maxLat = minLat
+	}
+	return &Net{
+		sim: sim, fi: fi, log: log,
+		minLat: minLat, maxLat: maxLat,
+		handlers:    make(map[string]map[string]endpoint),
+		down:        make(map[string]bool),
+		partitioned: make(map[[2]string]bool),
+	}
+}
+
+// Handle registers a handler for messages of msgType addressed to node.
+// The handler runs on the given actor (thread) name.
+func (n *Net) Handle(node, msgType, actor string, h Handler) {
+	m := n.handlers[node]
+	if m == nil {
+		m = make(map[string]endpoint)
+		n.handlers[node] = m
+	}
+	m[msgType] = endpoint{actor: actor, handler: h}
+}
+
+// SetDown marks a node as unreachable (connection errors for senders).
+func (n *Net) SetDown(node string, down bool) { n.down[node] = down }
+
+// Partition cuts (or restores) connectivity between a pair of nodes.
+func (n *Net) Partition(a, b string, cut bool) {
+	n.partitioned[[2]string{a, b}] = cut
+	n.partitioned[[2]string{b, a}] = cut
+}
+
+func (n *Net) latency() des.Time {
+	return n.minLat + n.sim.Jitter(n.maxLat-n.minLat+1)
+}
+
+// reachability returns a connection-level error if to is unreachable.
+func (n *Net) reachability(from, to string) error {
+	if n.down[to] {
+		return &inject.Fault{Kind: inject.Connection, Site: "env.net.down"}
+	}
+	if n.partitioned[[2]string{from, to}] {
+		return &inject.Fault{Kind: inject.Connection, Site: "env.net.partition"}
+	}
+	return nil
+}
+
+// Send transmits a one-way message. site is the sender-side fault site; an
+// injected fault (or an unreachable peer) is returned synchronously, and the
+// message is not delivered.
+func (n *Net) Send(site string, msg Message) error {
+	if err := n.fi.Reach(site, inject.Socket); err != nil {
+		return err
+	}
+	if err := n.reachability(msg.From, msg.To); err != nil {
+		return err
+	}
+	ep, ok := n.handlers[msg.To][msg.Type]
+	if !ok {
+		return fmt.Errorf("simnet: %s has no handler for %s", msg.To, msg.Type)
+	}
+	n.sim.Schedule(ep.actor, n.latency(), func() {
+		if n.down[msg.To] {
+			return
+		}
+		ep.handler(msg, nil)
+	})
+	return nil
+}
+
+// Call performs an RPC: the remote handler's respond() resumes the caller's
+// continuation cont on the caller's current actor. If no response arrives
+// within timeout, cont runs with a TimeoutError. site is the sender-side
+// fault site. cont runs exactly once.
+func (n *Net) Call(site string, msg Message, timeout des.Time, cont func(payload interface{}, err error)) {
+	caller := n.sim.Current()
+	if caller == "" {
+		caller = msg.From
+	}
+	finish := func(payload interface{}, err error) {
+		n.sim.Go(caller, func() { cont(payload, err) })
+	}
+
+	if err := n.fi.Reach(site, inject.Socket); err != nil {
+		finish(nil, err)
+		return
+	}
+	if err := n.reachability(msg.From, msg.To); err != nil {
+		finish(nil, err)
+		return
+	}
+	ep, ok := n.handlers[msg.To][msg.Type]
+	if !ok {
+		finish(nil, fmt.Errorf("simnet: %s has no handler for %s", msg.To, msg.Type))
+		return
+	}
+
+	done := false
+	var cancelTimeout func()
+	if timeout > 0 {
+		cancelTimeout = n.sim.Schedule(caller, timeout, func() {
+			if done {
+				return
+			}
+			done = true
+			cont(nil, &inject.Fault{Kind: inject.Timeout, Site: "env.net.rpc-timeout"})
+		})
+	}
+	respond := func(payload interface{}, err error) {
+		n.sim.Schedule(caller, n.latency(), func() {
+			if done {
+				return
+			}
+			done = true
+			if cancelTimeout != nil {
+				cancelTimeout()
+			}
+			cont(payload, err)
+		})
+	}
+	n.sim.Schedule(ep.actor, n.latency(), func() {
+		if n.down[msg.To] {
+			return // request lost; caller times out
+		}
+		ep.handler(msg, respond)
+	})
+}

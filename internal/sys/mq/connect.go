@@ -1,0 +1,150 @@
+package mq
+
+import (
+	"fmt"
+
+	"anduril/internal/cluster"
+	"anduril/internal/des"
+	"anduril/internal/inject"
+	"anduril/internal/simnet"
+)
+
+// ConnectWorker runs connectors under a single herder thread that
+// processes all administrative requests sequentially.
+//
+// KA-9374 (f19): stopping a connector whose external resource fails blocks
+// the herder forever (there is no timeout on the stop), which disables the
+// whole worker — every other connector's requests pile up and time out.
+type ConnectWorker struct {
+	env  *cluster.Env
+	name string
+
+	connectors []string
+	queue      []connectOp
+	herderBusy bool
+	stopCond   *des.Cond
+}
+
+type connectOp struct {
+	Kind      string // "reconfigure" | "status" | "pause" | "resume"
+	Connector string
+	From      string
+	respond   func(interface{}, error)
+}
+
+// NewConnectWorker creates a worker hosting the given connectors.
+func NewConnectWorker(env *cluster.Env, connectors []string) *ConnectWorker {
+	w := &ConnectWorker{env: env, name: "connect-worker-1", connectors: connectors}
+	w.stopCond = des.NewCond(env.Sim, "connector-stop")
+	env.Net.Handle(w.name, "mq.connect-op", w.name+"-rpc", w.onOp)
+	return w
+}
+
+// Start boots the worker and its connectors.
+func (w *ConnectWorker) Start() {
+	env := w.env
+	env.Sim.Go(w.name+"-herder", func() {
+		env.Log.Infof("Connect worker %s started with connectors %v", w.name, w.connectors)
+	})
+	// Connector tasks poll their sources periodically (background noise
+	// and realistic fault sites).
+	for _, c := range w.connectors {
+		conn := c
+		env.Sim.Every(w.name+"-task-"+conn, 120*des.Millisecond, func() {
+			if err := env.FI.Reach("mq.connect.task-poll", inject.IO); err != nil {
+				env.Log.Warnf("Connector %s task poll failed, will retry: %s", conn, err)
+				return
+			}
+			env.Log.Debugf("Connector %s polled source", conn)
+		})
+	}
+}
+
+// onOp enqueues an administrative request for the herder.
+func (w *ConnectWorker) onOp(m simnet.Message, respond func(interface{}, error)) {
+	op, ok := m.Payload.(connectOp)
+	if !ok {
+		respond(nil, fmt.Errorf("mq: malformed connect op"))
+		return
+	}
+	op.From = m.From
+	op.respond = respond
+	w.queue = append(w.queue, op)
+	w.runHerder()
+}
+
+// runHerder drains the request queue on the single herder thread.
+func (w *ConnectWorker) runHerder() {
+	env := w.env
+	if w.herderBusy || len(w.queue) == 0 {
+		return
+	}
+	w.herderBusy = true
+	op := w.queue[0]
+	w.queue = w.queue[1:]
+	env.Sim.Go(w.name+"-herder", func() {
+		w.execute(op)
+	})
+}
+
+func (w *ConnectWorker) execute(op connectOp) {
+	env := w.env
+	switch op.Kind {
+	case "reconfigure":
+		env.Log.Infof("Herder reconfiguring connector %s", op.Connector)
+		// Stop the connector first; the stop has NO timeout (the defect).
+		if err := env.FI.Reach("mq.connect.stop-connector", inject.IO); err != nil {
+			env.Log.Errorf("Connector %s failed to stop: %s; herder waiting for clean shutdown", op.Connector, err)
+			// Defect (KA-9374): the herder blocks forever waiting for a
+			// stop acknowledgement that will never come.
+			w.stopCond.Wait(w.name+"-herder", func() {
+				w.finish(op, "ok", nil)
+			})
+			return
+		}
+		env.Log.Infof("Connector %s restarted with new configuration", op.Connector)
+		w.finish(op, "ok", nil)
+	case "status":
+		env.Log.Debugf("Herder serving status of connector %s", op.Connector)
+		w.finish(op, "RUNNING", nil)
+	case "pause", "resume":
+		env.Log.Infof("Herder %sd connector %s", op.Kind, op.Connector)
+		w.finish(op, "ok", nil)
+	default:
+		w.finish(op, nil, fmt.Errorf("mq: unknown op %s", op.Kind))
+	}
+}
+
+func (w *ConnectWorker) finish(op connectOp, payload interface{}, err error) {
+	if op.respond != nil {
+		op.respond(payload, err)
+	}
+	w.herderBusy = false
+	w.runHerder()
+}
+
+// ConnectClient issues administrative requests against the worker.
+type ConnectClient struct {
+	env  *cluster.Env
+	name string
+}
+
+// NewConnectClient creates a named admin client.
+func NewConnectClient(env *cluster.Env, name string) *ConnectClient {
+	return &ConnectClient{env: env, name: name}
+}
+
+// Request sends one op and logs a worker-unresponsive error on timeout.
+func (c *ConnectClient) Request(kind, connector string) {
+	env := c.env
+	env.Net.Call("mq.connect.admin-request", simnet.Message{
+		From: c.name, To: "connect-worker-1", Type: "mq.connect-op",
+		Payload: connectOp{Kind: kind, Connector: connector},
+	}, 400*des.Millisecond, func(_ interface{}, err error) {
+		if err != nil {
+			env.Log.Errorf("Connect request %s for %s timed out; worker unresponsive: %s", kind, connector, err)
+			return
+		}
+		env.Log.Debugf("Connect request %s for %s completed", kind, connector)
+	})
+}

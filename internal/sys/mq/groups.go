@@ -1,0 +1,234 @@
+package mq
+
+import (
+	"fmt"
+
+	"anduril/internal/cluster"
+	"anduril/internal/des"
+	"anduril/internal/simnet"
+)
+
+// GroupCoordinator implements the consumer-group protocol on a broker:
+// members join, the coordinator bumps the generation and assigns the
+// topic's partition to exactly one member, and missed heartbeats evict a
+// member and trigger a rebalance — the machinery behind Kafka failover.
+type GroupCoordinator struct {
+	env    *cluster.Env
+	broker string
+	group  string
+	topic  string
+
+	generation int
+	members    map[string]des.Time // member -> last heartbeat
+	leader     string
+}
+
+// NewGroupCoordinator attaches a coordinator for one group to a broker.
+func NewGroupCoordinator(env *cluster.Env, broker, group, topic string) *GroupCoordinator {
+	g := &GroupCoordinator{env: env, broker: broker, group: group, topic: topic,
+		members: make(map[string]des.Time)}
+	env.Net.Handle(broker, "mq.join-group", broker+"-coordinator", g.onJoin)
+	env.Net.Handle(broker, "mq.group-heartbeat", broker+"-coordinator", g.onHeartbeat)
+	env.Net.Handle(broker, "mq.leave-group", broker+"-coordinator", g.onLeave)
+
+	env.Sim.Every(broker+"-coordinator", 150*des.Millisecond, func() {
+		g.expireMembers()
+	})
+	return g
+}
+
+// assignment is what a joining member learns.
+type assignment struct {
+	Generation int
+	Leader     bool
+}
+
+func (g *GroupCoordinator) onJoin(m simnet.Message, respond func(interface{}, error)) {
+	env := g.env
+	g.members[m.From] = env.Sim.Now()
+	g.rebalance("member " + m.From + " joined")
+	respond(assignment{Generation: g.generation, Leader: g.leader == m.From}, nil)
+}
+
+func (g *GroupCoordinator) onLeave(m simnet.Message, _ func(interface{}, error)) {
+	if _, ok := g.members[m.From]; !ok {
+		return
+	}
+	delete(g.members, m.From)
+	g.rebalance("member " + m.From + " left")
+}
+
+// onHeartbeat refreshes the member's deadline; the response tells the
+// member whether its generation is stale and it must rejoin.
+func (g *GroupCoordinator) onHeartbeat(m simnet.Message, respond func(interface{}, error)) {
+	env := g.env
+	beat, ok := m.Payload.(int)
+	if _, member := g.members[m.From]; !member {
+		respond(nil, fmt.Errorf("mq: unknown member %s", m.From))
+		return
+	}
+	g.members[m.From] = env.Sim.Now()
+	if ok && beat != g.generation {
+		respond("rejoin", nil)
+		return
+	}
+	respond("ok", nil)
+}
+
+func (g *GroupCoordinator) expireMembers() {
+	env := g.env
+	now := env.Sim.Now()
+	for member, last := range g.members {
+		if now-last > 400*des.Millisecond {
+			delete(g.members, member)
+			env.Log.Warnf("Group %s member %s expired after %dms without heartbeat",
+				g.group, member, (now-last)/des.Millisecond)
+			g.rebalance("member " + member + " expired")
+		}
+	}
+}
+
+// rebalance bumps the generation and re-elects the partition owner
+// (deterministically: the lexicographically-smallest member).
+func (g *GroupCoordinator) rebalance(reason string) {
+	env := g.env
+	g.generation++
+	g.leader = ""
+	for member := range g.members {
+		if g.leader == "" || member < g.leader {
+			g.leader = member
+		}
+	}
+	env.Log.Infof("Group %s rebalanced to generation %d (%s), partition of %s owned by %s",
+		g.group, g.generation, reason, g.topic, g.leader)
+}
+
+// GroupMember is a consumer participating in the group protocol; only the
+// assigned member polls, and an expired peer's partition fails over.
+type GroupMember struct {
+	env    *cluster.Env
+	name   string
+	broker string
+	group  string
+	topic  string
+
+	generation int
+	owner      bool
+	offset     int64
+	stopped    bool
+}
+
+// NewGroupMember creates (but does not start) a member.
+func NewGroupMember(env *cluster.Env, name, broker, group, topic string) *GroupMember {
+	return &GroupMember{env: env, name: name, broker: broker, group: group, topic: topic}
+}
+
+// Start joins the group and begins heartbeating and polling.
+func (c *GroupMember) Start() {
+	env := c.env
+	env.Sim.Go(c.name, c.join)
+	env.Sim.Every(c.name, 100*des.Millisecond, func() {
+		if c.stopped {
+			return
+		}
+		c.heartbeat()
+	})
+	env.Sim.Every(c.name+"-poller", 80*des.Millisecond, func() {
+		if c.stopped || !c.owner {
+			return
+		}
+		c.pollOnce()
+	})
+}
+
+// Stop makes the member vanish without leaving the group cleanly (a
+// consumer crash); the coordinator expires it and fails the partition over.
+func (c *GroupMember) Stop() {
+	c.stopped = true
+	c.env.Log.Warnf("Consumer %s process exited", c.name)
+}
+
+func (c *GroupMember) join() {
+	env := c.env
+	env.Net.Call("mq.consumer.join-group", simnet.Message{
+		From: c.name, To: c.broker, Type: "mq.join-group", Payload: nil,
+	}, 250*des.Millisecond, func(payload interface{}, err error) {
+		if err != nil {
+			env.Log.Warnf("Consumer %s join failed, retrying: %s", c.name, err)
+			env.Sim.Schedule(c.name, 150*des.Millisecond, c.join)
+			return
+		}
+		a := payload.(assignment)
+		c.generation = a.Generation
+		c.owner = a.Leader
+		env.Log.Infof("Consumer %s joined group %s generation %d (owner=%v)",
+			c.name, c.group, a.Generation, a.Leader)
+	})
+}
+
+func (c *GroupMember) heartbeat() {
+	env := c.env
+	env.Net.Call("mq.consumer.send-group-heartbeat", simnet.Message{
+		From: c.name, To: c.broker, Type: "mq.group-heartbeat", Payload: c.generation,
+	}, 250*des.Millisecond, func(payload interface{}, err error) {
+		if c.stopped {
+			return
+		}
+		if err != nil {
+			env.Log.Warnf("Consumer %s heartbeat failed, rejoining group: %s", c.name, err)
+			c.owner = false
+			c.join()
+			return
+		}
+		if status, _ := payload.(string); status == "rejoin" {
+			env.Log.Infof("Consumer %s told to rejoin group %s", c.name, c.group)
+			c.owner = false
+			c.join()
+		}
+	})
+}
+
+func (c *GroupMember) pollOnce() {
+	env := c.env
+	env.Net.Call("mq.consumer.group-poll", simnet.Message{
+		From: c.name, To: c.broker, Type: "mq.fetch",
+		Payload: fetchReq{Topic: c.topic, Offset: c.offset, Max: 5},
+	}, 250*des.Millisecond, func(payload interface{}, err error) {
+		if err != nil || c.stopped {
+			return
+		}
+		recs := payload.([]record)
+		for _, rec := range recs {
+			c.offset = rec.Offset + 1
+		}
+		if len(recs) > 0 {
+			env.Log.Debugf("Consumer %s processed %d records up to offset %d", c.name, len(recs), c.offset)
+			env.Net.Call("mq.consumer.group-commit", simnet.Message{
+				From: c.name, To: c.broker, Type: "mq.commit",
+				Payload: commitReq{Group: c.group, Topic: c.topic, Offset: c.offset},
+			}, 250*des.Millisecond, func(_ interface{}, err error) {
+				if err != nil {
+					env.Log.Warnf("Consumer %s group commit failed: %s", c.name, err)
+				}
+			})
+		}
+	})
+}
+
+// WorkloadGroup drives the consumer-group protocol: two members, a crash,
+// and the failover of the partition to the survivor.
+func WorkloadGroup(env *cluster.Env) {
+	NewBroker(env, "broker-a")
+	NewGroupCoordinator(env, "broker-a", "order-processors", "orders")
+	p := NewProducer(env, "mq-producer-1", "broker-a")
+	c1 := NewGroupMember(env, "consumer-a", "broker-a", "order-processors", "orders")
+	c2 := NewGroupMember(env, "consumer-b", "broker-a", "order-processors", "orders")
+	c1.Start()
+	c2.Start()
+	env.Sim.Schedule("mq-producer-1", 200*des.Millisecond, func() {
+		p.ProduceLoop("orders", "order", 30*des.Millisecond, 60)
+	})
+	env.Sim.Schedule("harness", 1200*des.Millisecond, func() {
+		c1.Stop()
+	})
+}

@@ -1,0 +1,200 @@
+package mq
+
+import (
+	"strings"
+
+	"anduril/internal/cluster"
+	"anduril/internal/des"
+	"anduril/internal/inject"
+	"anduril/internal/simnet"
+)
+
+// StreamsTask is an emit-on-change table processor: it consumes an input
+// topic, maintains a persistent state store, and emits a record to the
+// output topic only when a key's value actually changed.
+//
+// KA-12508 (f18): the store is persisted BEFORE the change is emitted. If
+// the checkpoint between the two fails, the task restarts, reloads the
+// store — which already holds the new value — and reprocesses the input
+// record as "no change": the downstream update is lost forever.
+type StreamsTask struct {
+	env    *cluster.Env
+	name   string
+	broker string
+
+	inTopic  string
+	outTopic string
+	group    string
+
+	table    map[string]string
+	offset   int64
+	restarts int
+	busy     bool
+}
+
+// NewStreamsTask creates the processor.
+func NewStreamsTask(env *cluster.Env, broker, inTopic, outTopic string) *StreamsTask {
+	return &StreamsTask{
+		env: env, name: "streams-task-1", broker: broker,
+		inTopic: inTopic, outTopic: outTopic, group: "streams-app",
+		table: make(map[string]string),
+	}
+}
+
+// Start begins the poll loop.
+func (s *StreamsTask) Start() {
+	env := s.env
+	env.Sim.Go(s.name, func() {
+		env.Log.Infof("Streams task %s starting on %s -> %s", s.name, s.inTopic, s.outTopic)
+		s.restore()
+	})
+	env.Sim.Every(s.name, 40*des.Millisecond, func() {
+		if s.busy {
+			return
+		}
+		s.poll()
+	})
+}
+
+func (s *StreamsTask) storePath(key string) string { return "streams/store/" + key }
+
+// restore reloads the state store and committed offset after a (re)start.
+func (s *StreamsTask) restore() {
+	env := s.env
+	for _, path := range env.Disk.List("streams/store/") {
+		data, err := env.Disk.Read("mq.streams.read-store", path)
+		if err != nil {
+			env.Log.Warnf("Streams task could not restore %s: %s", path, err)
+			continue
+		}
+		key := strings.TrimPrefix(path, "streams/store/")
+		s.table[key] = string(data)
+	}
+	env.Net.Call("mq.streams.fetch-offset", simnet.Message{
+		From: s.name, To: s.broker, Type: "mq.fetch-committed",
+		Payload: commitReq{Group: s.group, Topic: s.inTopic},
+	}, 250*des.Millisecond, func(payload interface{}, err error) {
+		if err != nil {
+			env.Log.Warnf("Streams task could not fetch committed offset: %s", err)
+			return
+		}
+		s.offset = payload.(int64)
+		env.Log.Infof("Streams task restored %d keys, resuming at offset %d", len(s.table), s.offset)
+	})
+}
+
+// poll fetches and processes the next input records.
+func (s *StreamsTask) poll() {
+	env := s.env
+	s.busy = true
+	env.Net.Call("mq.streams.poll", simnet.Message{
+		From: s.name, To: s.broker, Type: "mq.fetch",
+		Payload: fetchReq{Topic: s.inTopic, Offset: s.offset, Max: 1},
+	}, 250*des.Millisecond, func(payload interface{}, err error) {
+		if err != nil {
+			s.busy = false
+			env.Log.Warnf("Streams poll failed, will retry: %s", err)
+			return
+		}
+		recs := payload.([]record)
+		if len(recs) == 0 {
+			s.busy = false
+			return
+		}
+		s.process(recs[0])
+	})
+}
+
+// process runs one record through the emit-on-change pipeline.
+func (s *StreamsTask) process(rec record) {
+	env := s.env
+	prev, had := s.table[rec.Key]
+	if had && prev == rec.Value {
+		env.Log.Debugf("Emit-on-change: no change for key %s at offset %d, skipping", rec.Key, rec.Offset)
+		s.commit(rec.Offset + 1)
+		return
+	}
+	// 1. Update the persistent store (before the emit — the defect).
+	s.table[rec.Key] = rec.Value
+	if err := env.Disk.Write("mq.streams.write-store", s.storePath(rec.Key), []byte(rec.Value)); err != nil {
+		env.Log.Errorf("Streams store write failed for %s: %s", rec.Key, err)
+		s.crashAndRestart()
+		return
+	}
+	// 2. Checkpoint the store.
+	if err := env.FI.Reach("mq.streams.checkpoint", inject.IO); err != nil {
+		env.Log.Errorf("Stream task crashed while checkpointing: %s; restarting task", err)
+		s.crashAndRestart()
+		return
+	}
+	// 3. Emit the change downstream.
+	env.Net.Call("mq.streams.emit-change", simnet.Message{
+		From: s.name, To: s.broker, Type: "mq.produce",
+		Payload: produceReq{Topic: s.outTopic, Rec: record{Key: rec.Key, Value: rec.Value, Seq: rec.Seq}},
+	}, 250*des.Millisecond, func(_ interface{}, err error) {
+		if err != nil {
+			env.Log.Errorf("Streams emit failed for %s: %s", rec.Key, err)
+			s.crashAndRestart()
+			return
+		}
+		env.Log.Debugf("Emitted change %s=%s downstream", rec.Key, rec.Value)
+		// 4. Commit the input offset.
+		s.commit(rec.Offset + 1)
+	})
+}
+
+func (s *StreamsTask) commit(next int64) {
+	env := s.env
+	env.Net.Call("mq.streams.commit-offset", simnet.Message{
+		From: s.name, To: s.broker, Type: "mq.commit",
+		Payload: commitReq{Group: s.group, Topic: s.inTopic, Offset: next},
+	}, 250*des.Millisecond, func(_ interface{}, err error) {
+		if err != nil {
+			env.Log.Warnf("Streams offset commit failed: %s", err)
+		} else {
+			s.offset = next
+		}
+		s.busy = false
+	})
+}
+
+// crashAndRestart models the task dying and being reassigned: fresh
+// in-memory state, store and offsets restored from durable state.
+func (s *StreamsTask) crashAndRestart() {
+	env := s.env
+	s.restarts++
+	s.table = make(map[string]string)
+	env.Sim.Schedule(s.name, 120*des.Millisecond, func() {
+		env.Log.Warnf("Restarting streams task %s (restart %d)", s.name, s.restarts)
+		s.restore()
+		env.Sim.Schedule(s.name, 30*des.Millisecond, func() { s.busy = false })
+	})
+}
+
+// VerifyEmissions compares the output topic against the input topic: every
+// input change must have been emitted exactly once. Run at the end of the
+// workload.
+func VerifyEmissions(env *cluster.Env, b *Broker, inTopic, outTopic string) {
+	in := b.Topic(inTopic)
+	out := b.Topic(outTopic)
+	emitted := map[int64]bool{}
+	for _, r := range out {
+		emitted[r.Seq] = true
+	}
+	// Expected: each input record whose value differs from the previous
+	// value of its key.
+	last := map[string]string{}
+	lost := 0
+	for _, r := range in {
+		if last[r.Key] != r.Value {
+			if !emitted[r.Seq] {
+				env.Log.Errorf("Emit-on-change table lost update for key %s: seq %d (%s) never emitted", r.Key, r.Seq, r.Value)
+				lost++
+			}
+			last[r.Key] = r.Value
+		}
+	}
+	if lost == 0 {
+		env.Log.Infof("Emit-on-change verification passed: %d inputs, %d emissions", len(in), len(out))
+	}
+}

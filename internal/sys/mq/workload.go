@@ -1,0 +1,58 @@
+package mq
+
+import (
+	"anduril/internal/cluster"
+	"anduril/internal/des"
+)
+
+// Horizon is how much virtual time the mq workloads need to quiesce.
+const Horizon = 3 * des.Second
+
+// WorkloadStreams drives an emit-on-change table: a producer of distinct
+// updates, the streams task, and a final emission verification — the
+// driving workload for f18 (KA-12508).
+func WorkloadStreams(env *cluster.Env) {
+	b := NewBroker(env, "broker-a")
+	p := NewProducer(env, "mq-producer-1", "broker-a")
+	task := NewStreamsTask(env, "broker-a", "events", "changes")
+	task.Start()
+	env.Sim.Schedule("mq-producer-1", 150*des.Millisecond, func() {
+		p.ProduceLoop("events", "user-1", 45*des.Millisecond, 25)
+	})
+	env.Sim.Schedule("verifier", 2500*des.Millisecond, func() {
+		VerifyEmissions(env, b, "events", "changes")
+	})
+}
+
+// WorkloadConnect drives a connect worker with two connectors and a stream
+// of administrative requests — the driving workload for f19 (KA-9374).
+func WorkloadConnect(env *cluster.Env) {
+	NewBroker(env, "broker-a")
+	w := NewConnectWorker(env, []string{"connector-1", "connector-2"})
+	w.Start()
+	admin := NewConnectClient(env, "mq-admin-1")
+	env.Sim.Schedule("mq-admin-1", 300*des.Millisecond, func() { admin.Request("status", "connector-1") })
+	env.Sim.Schedule("mq-admin-1", 500*des.Millisecond, func() { admin.Request("reconfigure", "connector-1") })
+	env.Sim.Schedule("mq-admin-1", 800*des.Millisecond, func() { admin.Request("status", "connector-2") })
+	env.Sim.Schedule("mq-admin-1", 1100*des.Millisecond, func() { admin.Request("pause", "connector-2") })
+	env.Sim.Schedule("mq-admin-1", 1400*des.Millisecond, func() { admin.Request("reconfigure", "connector-2") })
+	env.Sim.Schedule("mq-admin-1", 1700*des.Millisecond, func() { admin.Request("resume", "connector-2") })
+}
+
+// WorkloadMirror drives cross-cluster replication with a consumer that
+// fails over mid-run — the driving workload for f20 (KA-10048).
+func WorkloadMirror(env *cluster.Env) {
+	NewBroker(env, "broker-a")
+	NewBroker(env, "broker-b")
+	p := NewProducer(env, "mq-producer-1", "broker-a")
+	m := NewMirror(env, "broker-a", "broker-b", "orders", "order-processors")
+	m.Start()
+	consumer := NewGroupConsumer(env, "mq-consumer-1", "broker-a", "orders", "order-processors")
+	consumer.Start()
+	env.Sim.Schedule("mq-producer-1", 150*des.Millisecond, func() {
+		p.ProduceLoop("orders", "order", 25*des.Millisecond, 70)
+	})
+	env.Sim.Schedule("harness", 1500*des.Millisecond, func() {
+		consumer.Failover("broker-b")
+	})
+}

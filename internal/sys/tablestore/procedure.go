@@ -1,0 +1,68 @@
+package tablestore
+
+import (
+	"anduril/internal/des"
+	"anduril/internal/inject"
+)
+
+// procedure is a multi-step master operation (create table, assign
+// region, ...). The executor runs procedures sequentially; each step may
+// wait on cluster state and can be interrupted.
+type procedure struct {
+	Name  string
+	Steps int
+	step  int
+}
+
+// submitInitialProcedures queues the workload's administrative operations.
+func (m *Master) submitInitialProcedures() {
+	m.procQueue = []*procedure{
+		{Name: "create-table-events", Steps: 3},
+		{Name: "assign-regions-events", Steps: 3},
+		{Name: "enable-table-events", Steps: 2},
+	}
+	m.runNextProcedure()
+}
+
+// runNextProcedure pops and executes the next queued procedure.
+// HB-19608 (f13): once an interrupted step has latched the executor's
+// failed flag, every later procedure is rejected outright.
+func (m *Master) runNextProcedure() {
+	env := m.env()
+	if len(m.procQueue) == 0 {
+		env.Log.Infof("Procedure executor drained, all procedures finished")
+		return
+	}
+	p := m.procQueue[0]
+	m.procQueue = m.procQueue[1:]
+	if m.procFailedFlag {
+		env.Log.Errorf("Procedure executor in failed state, rejecting procedure %s", p.Name)
+		m.runNextProcedure()
+		return
+	}
+	env.Log.Infof("Executing procedure %s with %d steps", p.Name, p.Steps)
+	m.runProcStep(p)
+}
+
+func (m *Master) runProcStep(p *procedure) {
+	env := m.env()
+	if p.step >= p.Steps {
+		env.Log.Infof("Procedure %s finished", p.Name)
+		env.Sim.Schedule("hmaster-proc", 50*des.Millisecond, m.runNextProcedure)
+		return
+	}
+	env.Sim.Schedule("hmaster-proc", 60*des.Millisecond, func() {
+		// Each step waits on cluster state; the wait is interruptible.
+		if err := env.FI.Reach("ts.proc.step-wait", inject.Interrupted); err != nil {
+			// Defect (HB-19608): an interrupt during the wait marks the
+			// whole executor failed instead of retrying the step.
+			env.Log.Errorf("Procedure %s was interrupted, marking procedure as failed", p.Name)
+			m.procFailedFlag = true
+			env.Sim.Schedule("hmaster-proc", 50*des.Millisecond, m.runNextProcedure)
+			return
+		}
+		p.step++
+		env.Log.Debugf("Procedure %s completed step %d/%d", p.Name, p.step, p.Steps)
+		m.runProcStep(p)
+	})
+}

@@ -1,0 +1,81 @@
+package tablestore
+
+import (
+	"anduril/internal/cluster"
+	"anduril/internal/des"
+)
+
+// Horizon is how much virtual time the tablestore workloads need.
+const Horizon = 3 * des.Second
+
+// WorkloadWAL drives a steady put stream against one region server with
+// flushes and log rolls running — the TestReplicationSmallTests analog the
+// paper uses for HB-25905 (f17).
+func WorkloadWAL(env *cluster.Env) {
+	c := NewCluster(env, Options{RegionServers: 1})
+	c.Start()
+	cl := c.NewClient("ts-client-1")
+	env.Sim.Schedule("ts-client-1", 150*des.Millisecond, func() {
+		cl.PutLoop("rs1", 15*des.Millisecond, 120)
+	})
+}
+
+// WorkloadReplication runs two region servers replicating to a peer — the
+// driving workload for f12 (HB-18137).
+func WorkloadReplication(env *cluster.Env) {
+	c := NewCluster(env, Options{RegionServers: 2, WithReplication: true})
+	c.Start()
+	cl := c.NewClient("ts-client-1")
+	env.Sim.Schedule("ts-client-1", 150*des.Millisecond, func() {
+		cl.PutLoop("rs1", 25*des.Millisecond, 60)
+	})
+}
+
+// WorkloadCrash kills rs2 mid-run so the master must split its WAL and
+// survivors must claim its replication queue — the driving workload for
+// f15 (HB-20583) and f16 (HB-16144).
+func WorkloadCrash(env *cluster.Env) {
+	c := NewCluster(env, Options{RegionServers: 3, WithReplication: true})
+	c.Start()
+	cl := c.NewClient("ts-client-1")
+	env.Sim.Schedule("ts-client-1", 150*des.Millisecond, func() {
+		cl.PutLoop("rs1", 30*des.Millisecond, 40)
+	})
+	env.Sim.Schedule("harness", 600*des.Millisecond, func() {
+		c.RS(2).Kill()
+	})
+}
+
+// WorkloadProcedures runs the master's administrative procedures — the
+// driving workload for f13 (HB-19608).
+func WorkloadProcedures(env *cluster.Env) {
+	c := NewCluster(env, Options{RegionServers: 2, WithProcedures: true})
+	c.Start()
+	cl := c.NewClient("ts-client-1")
+	env.Sim.Schedule("ts-client-1", 200*des.Millisecond, func() {
+		cl.PutLoop("rs1", 40*des.Millisecond, 20)
+	})
+}
+
+// WorkloadBatch issues multi-mutation batches (atomic and not) and
+// verifies the written cells — the driving workload for f14 (HB-19876).
+func WorkloadBatch(env *cluster.Env) {
+	c := NewCluster(env, Options{RegionServers: 2})
+	c.Start()
+	cl := c.NewClient("ts-client-1")
+	batch1 := []mutation{
+		{Row: "alpha", Value: "a1"}, {Row: "beta", Value: "b1"},
+		{Row: "gamma", Value: "c1"}, {Row: "delta", Value: "d1"},
+	}
+	batch2 := []mutation{
+		{Row: "epsilon", Value: "e1"}, {Row: "zeta", Value: "z1"},
+		{Row: "eta", Value: "h1"},
+	}
+	env.Sim.Schedule("ts-client-1", 200*des.Millisecond, func() {
+		cl.PutBatch("rs1", "region-rs1", batch1, false, 1, func() {
+			cl.PutBatch("rs1", "region-rs1", batch2, true, 2, func() {
+				cl.PutBatch("rs2", "region-rs2", batch1, false, 1, nil)
+			})
+		})
+	})
+}

@@ -1,0 +1,138 @@
+package zk
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disk layout per server: "zk<id>/txnlog" is the transaction log and
+// "zk<id>/snapshot.<zxid>" are fuzzy snapshots.
+
+func (s *Server) txnLogPath() string { return fmt.Sprintf("%s/txnlog", s.name) }
+
+func (s *Server) snapshotPath(zxid int64) string {
+	return fmt.Sprintf("%s/snapshot.%016d", s.name, zxid)
+}
+
+// appendTxn writes one transaction record to the log and fsyncs it. This
+// is the fault boundary of ZK-2247 (f1).
+func (s *Server) appendTxn(txn Txn) error {
+	env := s.env()
+	if err := env.Disk.Append("zk.sync.append-txn", s.txnLogPath(), []byte(encodeTxn(txn))); err != nil {
+		return fmt.Errorf("failed to write transaction log: %w", err)
+	}
+	if err := env.Disk.Sync("zk.sync.fsync-txnlog", s.txnLogPath()); err != nil {
+		return fmt.Errorf("failed to fsync transaction log: %w", err)
+	}
+	return nil
+}
+
+// takeSnapshot serializes the data tree to a new snapshot file. The write
+// is multi-step (header, body, footer); a fault in the middle leaves a
+// truncated snapshot on disk, the precondition of ZK-3006 (f4). The real
+// incident's defect is the same: the partially-written snapshot is not
+// removed after the error.
+func (s *Server) takeSnapshot() error {
+	env := s.env()
+	path := s.snapshotPath(s.zxid)
+	if s.zxid == s.lastSnapZxid && env.Disk.Exists(path) {
+		return nil // nothing new to snapshot
+	}
+	env.Log.Debugf("Taking snapshot at zxid=0x%x on myid=%d", s.zxid, s.id)
+	if err := env.Disk.Create("zk.snap.create", path); err != nil {
+		return fmt.Errorf("cannot create snapshot file: %w", err)
+	}
+	// Defect (ZK-3006): the snapshot is considered taken from this point
+	// on, even if a later write step fails and leaves the file truncated.
+	s.lastSnapZxid = s.zxid
+	header := fmt.Sprintf("SNAP|%d|%d\n", s.epoch, s.zxid)
+	if err := env.Disk.Append("zk.snap.write-header", path, []byte(header)); err != nil {
+		return fmt.Errorf("cannot write snapshot header: %w", err)
+	}
+	var body strings.Builder
+	for p, v := range s.data {
+		fmt.Fprintf(&body, "N|%s|%s\n", p, v)
+	}
+	if err := env.Disk.Append("zk.snap.write-body", path, []byte(body.String())); err != nil {
+		return fmt.Errorf("cannot serialize datatree: %w", err)
+	}
+	if err := env.Disk.Append("zk.snap.write-footer", path, []byte("END\n")); err != nil {
+		return fmt.Errorf("cannot finalize snapshot: %w", err)
+	}
+	return nil
+}
+
+// loadDatabase restores the data tree from the newest snapshot and replays
+// the transaction log. Parsing a truncated snapshot dereferences a missing
+// node — the NullPointerException of ZK-3006 (f4).
+func (s *Server) loadDatabase() error {
+	env := s.env()
+	snaps := env.Disk.List(s.name + "/snapshot.")
+	if len(snaps) > 0 {
+		latest := snaps[len(snaps)-1]
+		env.Log.Infof("Reading snapshot %s on myid=%d", latest, s.id)
+		content, err := env.Disk.Read("zk.snap.read", latest)
+		if err != nil {
+			return fmt.Errorf("cannot read snapshot %s: %w", latest, err)
+		}
+		if err := s.deserializeSnapshot(latest, string(content)); err != nil {
+			return err
+		}
+	}
+	if env.Disk.Exists(s.txnLogPath()) {
+		content, err := env.Disk.Read("zk.txnlog.read", s.txnLogPath())
+		if err != nil {
+			return fmt.Errorf("cannot read transaction log: %w", err)
+		}
+		for _, line := range strings.Split(string(content), "\n") {
+			if line == "" {
+				continue
+			}
+			txn, ok := decodeTxn(line)
+			if !ok {
+				env.Log.Warnf("Skipping malformed txn record on myid=%d", s.id)
+				continue
+			}
+			if txn.Zxid > s.zxid {
+				s.applyTxn(txn)
+			}
+		}
+	}
+	return nil
+}
+
+// deserializeSnapshot parses a snapshot file. The footer check is the
+// defective part: a file with a valid header but missing END marker makes
+// the restore path touch a nil node, mirroring the NPE in ZK-3006.
+func (s *Server) deserializeSnapshot(path, content string) error {
+	env := s.env()
+	lines := strings.Split(content, "\n")
+	if len(lines) == 0 || !strings.HasPrefix(lines[0], "SNAP|") {
+		return fmt.Errorf("snapshot %s has no header", path)
+	}
+	complete := false
+	for _, line := range lines[1:] {
+		if line == "END" {
+			complete = true
+			break
+		}
+		if line == "" {
+			continue
+		}
+		parts := strings.SplitN(line, "|", 3)
+		if len(parts) == 3 && parts[0] == "N" {
+			s.data[parts[1]] = parts[2]
+		}
+	}
+	var header [3]string
+	copy(header[:], strings.SplitN(lines[0], "|", 3))
+	fmt.Sscanf(header[2], "%d", &s.zxid)
+	fmt.Sscanf(header[1], "%d", &s.epoch)
+	if !complete {
+		// The datatree's session node was never restored; dereferencing it
+		// blows up, as the real server did.
+		env.Log.Errorf("Unexpected null datatree node restoring snapshot %s: NullPointerException", path)
+		return fmt.Errorf("null datatree node in %s", path)
+	}
+	return nil
+}
