@@ -12,9 +12,11 @@ package anduril
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"anduril/internal/core"
@@ -22,6 +24,9 @@ import (
 	"anduril/internal/failures"
 )
 
+// benchOpt leaves Workers at 0: experiment cells fan across one worker
+// per CPU by default. Output is deterministic either way; see
+// BenchmarkTable2EfficacyWorkers for the serial-vs-parallel comparison.
 var benchOpt = eval.Options{Seed: 1, MaxRounds: 500}
 
 var printOnce sync.Map
@@ -74,6 +79,27 @@ func BenchmarkTable2Efficacy(b *testing.B) {
 		reproduced, med := reproStats(t, 1) // full-feedback columns
 		b.ReportMetric(float64(reproduced), "reproduced")
 		b.ReportMetric(med, "med_rounds")
+	}
+}
+
+// BenchmarkTable2EfficacyWorkers regenerates Table 2 at different worker
+// counts — the serial-vs-parallel wall-time comparison for the harness
+// (the rendered content is identical; only wall time may differ).
+func BenchmarkTable2EfficacyWorkers(b *testing.B) {
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
+	}
+	for _, j := range counts {
+		opt := benchOpt
+		opt.Workers = j
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eval.Table2Efficacy(opt, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 
@@ -213,4 +239,28 @@ func BenchmarkReproduceMotivating(b *testing.B) {
 			b.Fatalf("iteration %d: not reproduced", i)
 		}
 	}
+}
+
+// BenchmarkReproduceSharedTarget drives concurrent Reproduce calls on ONE
+// shared Target via b.RunParallel — the unit of work the parallel
+// evaluation harness scales, and a standing check that a shared Target
+// really is read-only under load (run with -race).
+func BenchmarkReproduceSharedTarget(b *testing.B) {
+	s, _ := failures.ByID("f17")
+	tgt, err := s.BuildTarget()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var seed atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			rep := core.Reproduce(tgt, core.Options{
+				Strategy: core.FullFeedback, Seed: seed.Add(1), MaxRounds: 500,
+			})
+			if !rep.Reproduced {
+				b.Fatal("not reproduced")
+			}
+		}
+	})
 }

@@ -3,10 +3,17 @@
 //
 // Usage:
 //
-//	tables                 # everything
-//	tables -table 2        # one table (1-8)
+//	tables                 # everything, parallel across all CPUs
+//	tables -table 2        # one table (1-8, 9 = ablations)
 //	tables -figure 6       # Figure 6
 //	tables -max-rounds 500 -seed 1
+//	tables -j 1            # serial (identical output, one worker)
+//	tables -no-time        # mask wall-time cells for byte-stable output
+//
+// Every experiment cell is a hermetic, seeded run, so -j N and -j 1
+// render identical deterministic content for the same seed; only the
+// measured wall-time cells vary run to run (mask them with -no-time to
+// diff outputs byte for byte).
 package main
 
 import (
@@ -24,10 +31,12 @@ func main() {
 		seed      = flag.Int64("seed", 1, "master seed")
 		maxRounds = flag.Int("max-rounds", 500, "round cap (the paper's 24-hour analog)")
 		fig6      = flag.String("fig6-failure", "f4", "failure for the Figure 6 trajectory")
+		workers   = flag.Int("j", 0, "experiment-cell workers: 0 = one per CPU, 1 = serial")
+		noTime    = flag.Bool("no-time", false, "render wall-time cells as '*' (byte-stable output)")
 	)
 	flag.Parse()
 
-	opt := eval.Options{Seed: *seed, MaxRounds: *maxRounds}
+	opt := eval.Options{Seed: *seed, MaxRounds: *maxRounds, Workers: *workers, NoTiming: *noTime}
 	all := *table == 0 && *figure == 0
 
 	type gen struct {

@@ -17,6 +17,7 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"anduril/internal/analysis"
@@ -52,6 +53,14 @@ var Strategies = []Strategy{
 }
 
 // Target is one failure to reproduce: the inputs of §2.
+//
+// A Target is read-only during Reproduce: the explorer only reads its
+// fields and derives all mutable search state internally, so one Target
+// may back any number of concurrent Reproduce/Verify calls (the parallel
+// evaluation harness relies on this). The contract extends to the field
+// values — Workload must build a fresh system into the Env it is handed
+// and Oracle.Check must only inspect the Result it receives; neither may
+// capture mutable state shared across rounds.
 type Target struct {
 	ID          string // dataset id, e.g. "f17"
 	Issue       string // upstream issue, e.g. "HB-25905"
@@ -179,7 +188,7 @@ func (r *Report) MedianInjectReqs() int {
 	for _, rd := range r.RoundLog {
 		vals = append(vals, rd.InjectReqs)
 	}
-	sortInts(vals)
+	sort.Ints(vals)
 	return vals[len(vals)/2]
 }
 
@@ -205,23 +214,13 @@ func medianDuration(rounds []Round, f func(Round) time.Duration) time.Duration {
 	for _, rd := range rounds {
 		vals = append(vals, f(rd))
 	}
-	for i := 1; i < len(vals); i++ {
-		for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
-			vals[j], vals[j-1] = vals[j-1], vals[j]
-		}
-	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
 	return vals[len(vals)/2]
 }
 
-func sortInts(v []int) {
-	for i := 1; i < len(v); i++ {
-		for j := i; j > 0 && v[j] < v[j-1]; j-- {
-			v[j], v[j-1] = v[j-1], v[j]
-		}
-	}
-}
-
 // Reproduce searches for an injection that satisfies the target's oracle.
+// It treats t as read-only (see Target), so concurrent calls may share one
+// Target; the result depends only on (t, opts), never on scheduling.
 func Reproduce(t *Target, opts Options) *Report {
 	opts = opts.withDefaults()
 	e := newEngine(t, opts)

@@ -39,14 +39,21 @@ type siteState struct {
 	bestObs int     // index of the observable realizing F_i
 }
 
+// engine holds all mutable search state for one Reproduce call. A fresh
+// engine is built per call and never shared, so concurrent Reproduce runs
+// are independent as long as they treat the (possibly shared) Target as
+// read-only — which every method here does: the engine only ever reads
+// t.FailureLog, t.Analysis, t.Oracle and t.Workload, and all derived
+// state (observables, site states, distance tables) lives on the engine.
 type engine struct {
 	t *Target
 	o Options
 
-	obs   []*observable
-	sites []*siteState
-	dist  map[string]map[string]int
-	align *logdiff.Alignment
+	obs       []*observable
+	sites     []*siteState
+	siteIndex map[string]*siteState // id -> state, for O(1) markTried
+	dist      map[string]map[string]int
+	align     *logdiff.Alignment
 
 	sumBest map[string]float64 // sum-aggregation ablation bookkeeping
 
@@ -183,6 +190,10 @@ func (e *engine) setup(free *cluster.Result) {
 		total += len(insts)
 	}
 	sort.Slice(e.sites, func(i, j int) bool { return e.sites[i].id < e.sites[j].id })
+	e.siteIndex = make(map[string]*siteState, len(e.sites))
+	for _, s := range e.sites {
+		e.siteIndex[s.id] = s
+	}
 	e.report.CandidateSites = len(e.sites)
 	e.report.CandidateInstances = total
 
@@ -395,9 +406,7 @@ func (e *engine) feedbackLoop() {
 		res, rd := e.executeRound(round, inject.Window(candidates), initTime, window, rootRank)
 		if rd.Injected == nil {
 			// Nothing in the window occurred this round: widen it (§5.2.5).
-			if !e.o.FixedWindow {
-				window *= 2
-			}
+			window = e.growWindow(window)
 			e.report.RoundLog = append(e.report.RoundLog, *rd)
 			e.report.Rounds = round
 			continue
@@ -450,6 +459,30 @@ func (e *engine) feedbackLoop() {
 		e.report.RoundLog = append(e.report.RoundLog, *rd)
 		e.report.Rounds = round
 	}
+}
+
+// growWindow doubles the flexible window (§5.2.5), clamped to the total
+// candidate-instance count: a window wider than the whole fault space
+// selects nothing extra, and unclamped doubling overflows int after ~62
+// consecutive no-injection rounds — the window goes non-positive, the
+// candidate loop selects nothing, and the search falsely reports the
+// fault space exhausted.
+func (e *engine) growWindow(window int) int {
+	if e.o.FixedWindow {
+		return window
+	}
+	max := e.report.CandidateInstances
+	if max < 1 {
+		max = 1
+	}
+	if window >= max {
+		return max
+	}
+	window *= 2
+	if window > max || window <= 0 {
+		window = max
+	}
+	return window
 }
 
 // missingIn reports, per relevant observable, whether it is missing from
@@ -514,10 +547,7 @@ func (e *engine) multiplyCandidates(ranked []*siteState, window int) []inject.In
 }
 
 func (e *engine) markTried(inst inject.Instance) {
-	for _, s := range e.sites {
-		if s.id == inst.Site {
-			s.tried[inst.Occurrence] = true
-			return
-		}
+	if s, ok := e.siteIndex[inst.Site]; ok {
+		s.tried[inst.Occurrence] = true
 	}
 }

@@ -8,8 +8,10 @@ import (
 	"testing/quick"
 	"time"
 
+	"anduril/internal/cluster"
 	"anduril/internal/inject"
 	"anduril/internal/logdiff"
+	"anduril/internal/oracle"
 )
 
 // stubEngine builds an engine with hand-made observables, distances and
@@ -198,6 +200,81 @@ func TestMedianHelpers(t *testing.T) {
 	empty := &Report{}
 	if empty.MedianInitTime() != 0 || empty.MedianInjectReqs() != 0 || empty.MeanDecisionLatency() != 0 {
 		t.Fatal("empty report medians should be zero")
+	}
+}
+
+// Regression for the flexible-window overflow: when no candidate in the
+// window occurs, the window doubles every round (§5.2.5). Unclamped, 63+
+// consecutive no-injection rounds overflow int — the window goes
+// non-positive, candidate selection picks nothing, and the loop falsely
+// reports the fault space exhausted. The clamp caps growth at the total
+// candidate-instance count, so the search keeps probing until MaxRounds.
+func TestFlexibleWindowOverflowClamped(t *testing.T) {
+	const maxRounds = 80 // > 63, enough to overflow without the clamp
+	e := stubEngine(Options{Window: 1, MaxRounds: maxRounds})
+	// An empty workload never reaches a fault site, so every round is a
+	// no-injection round and the window doubles each time.
+	e.t.Workload = func(env *cluster.Env) {}
+	e.t.Oracle = oracle.Predicate("never", func(*cluster.Result) bool { return false })
+	total := 0
+	for _, s := range e.sites {
+		total += len(s.instances)
+	}
+	e.report.CandidateInstances = total // what setup would have counted
+
+	e.feedbackLoop()
+
+	if e.report.Reproduced {
+		t.Fatal("nothing should reproduce")
+	}
+	if e.report.Rounds != maxRounds {
+		t.Fatalf("stopped after %d rounds, want %d (false fault-space exhaustion)", e.report.Rounds, maxRounds)
+	}
+	for _, rd := range e.report.RoundLog {
+		if rd.WindowSize < 1 || rd.WindowSize > total {
+			t.Fatalf("round %d: window %d out of [1,%d]", rd.N, rd.WindowSize, total)
+		}
+	}
+}
+
+func TestGrowWindow(t *testing.T) {
+	e := stubEngine(Options{})
+	e.report.CandidateInstances = 18
+	cases := []struct{ in, want int }{
+		{1, 2}, {2, 4}, {8, 16}, {16, 18}, {18, 18}, {100, 18},
+	}
+	for _, c := range cases {
+		if got := e.growWindow(c.in); got != c.want {
+			t.Fatalf("growWindow(%d)=%d want %d", c.in, got, c.want)
+		}
+	}
+	// Fixed-window ablation never grows.
+	e.o.FixedWindow = true
+	if got := e.growWindow(3); got != 3 {
+		t.Fatalf("fixed window grew to %d", got)
+	}
+	// Degenerate: no candidate instances counted — must stay positive.
+	e.o.FixedWindow = false
+	e.report.CandidateInstances = 0
+	if got := e.growWindow(4); got != 1 {
+		t.Fatalf("growWindow with no instances = %d, want 1", got)
+	}
+}
+
+// markTried must hit the indexed site and ignore unknown sites.
+func TestMarkTriedIndex(t *testing.T) {
+	e := stubEngine(Options{})
+	e.siteIndex = make(map[string]*siteState, len(e.sites))
+	for _, s := range e.sites {
+		e.siteIndex[s.id] = s
+	}
+	e.markTried(inject.Instance{Site: "s.near", Occurrence: 2})
+	e.markTried(inject.Instance{Site: "no.such.site", Occurrence: 1})
+	for _, s := range e.sites {
+		want := s.id == "s.near"
+		if s.tried[2] != want {
+			t.Fatalf("site %s tried[2]=%v want %v", s.id, s.tried[2], want)
+		}
 	}
 }
 

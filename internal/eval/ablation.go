@@ -2,9 +2,11 @@ package eval
 
 import (
 	"fmt"
+	"strings"
 
 	"anduril/internal/core"
 	"anduril/internal/failures"
+	"anduril/internal/parallel"
 )
 
 // ablationSetting is one design-choice toggle from §5.1–§5.2.5.
@@ -23,10 +25,11 @@ var ablationSettings = []ablationSetting{
 
 // AblationTable evaluates the design-choice toggles over the whole dataset
 // with the full-feedback algorithm: reproduced count, total rounds, and
-// which failures each setting loses.
+// which failures each setting loses. The setting × failure grid fans
+// across the worker pool.
 func AblationTable(opt Options) (*Table, error) {
 	opt = opt.withDefaults()
-	targets, err := buildTargets()
+	targets, err := buildTargets(opt.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -34,32 +37,44 @@ func AblationTable(opt Options) (*Table, error) {
 		Title:  "Ablations: design choices of §5.1-§5.2.5 (full feedback, whole dataset)",
 		Header: []string{"Setting", "Reproduced", "Total rounds", "Lost failures"},
 	}
-	for _, setting := range ablationSettings {
+	scens := failures.All()
+	type cell struct{ si, fi int }
+	cells := make([]cell, 0, len(ablationSettings)*len(scens))
+	for si := range ablationSettings {
+		for fi := range scens {
+			cells = append(cells, cell{si, fi})
+		}
+	}
+	reps, err := parallel.Map(opt.Workers, cells, func(_ int, c cell) (*core.Report, error) {
+		opts := core.Options{Strategy: core.FullFeedback, Seed: opt.Seed, MaxRounds: opt.MaxRounds}
+		ablationSettings[c.si].mutate(&opts)
+		return core.Reproduce(targets[scens[c.fi].ID], opts), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, setting := range ablationSettings {
 		reproduced, totalRounds := 0, 0
-		lost := ""
-		for _, s := range failures.All() {
-			opts := core.Options{Strategy: core.FullFeedback, Seed: opt.Seed, MaxRounds: opt.MaxRounds}
-			setting.mutate(&opts)
-			rep := core.Reproduce(targets[s.ID], opts)
+		var lost []string
+		for fi, s := range scens {
+			rep := reps[si*len(scens)+fi]
 			if rep.Reproduced {
 				reproduced++
 				totalRounds += rep.Rounds
 				continue
 			}
 			totalRounds += opt.MaxRounds
-			if lost != "" {
-				lost += " "
-			}
-			lost += s.ID
+			lost = append(lost, s.ID)
 		}
-		if lost == "" {
-			lost = "-"
+		lostCell := "-"
+		if len(lost) > 0 {
+			lostCell = strings.Join(lost, " ")
 		}
 		t.Rows = append(t.Rows, []string{
 			setting.name,
 			fmt.Sprintf("%d/22", reproduced),
 			fmt.Sprint(totalRounds),
-			lost,
+			lostCell,
 		})
 	}
 	return t, nil

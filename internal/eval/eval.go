@@ -7,12 +7,14 @@ package eval
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"anduril/internal/core"
 	"anduril/internal/failures"
+	"anduril/internal/parallel"
 )
 
 // Table is a rendered experiment result.
@@ -66,6 +68,21 @@ func (t *Table) Render() string {
 type Options struct {
 	Seed      int64
 	MaxRounds int // cap standing in for the paper's 24-hour limit
+
+	// Workers fans independent experiment cells (failure × strategy or
+	// parameter) across a worker pool: 0 = one worker per CPU
+	// (GOMAXPROCS), 1 = fully serial, N = exactly N workers. Results are
+	// assembled in input order, so every table's deterministic content is
+	// byte-identical across worker counts for a fixed seed.
+	Workers int
+
+	// NoTiming renders every wall-clock duration cell as "*". Durations
+	// are measurements, not functions of the seed — they differ between
+	// any two runs, serial or not — so masking them is what makes full
+	// table output byte-stable (used by the -j equivalence tests and the
+	// cmd/tables -no-time flag). Round counts, the paper's efficiency
+	// metric, are unaffected.
+	NoTiming bool
 }
 
 func (o Options) withDefaults() Options {
@@ -76,6 +93,14 @@ func (o Options) withDefaults() Options {
 		o.MaxRounds = 500
 	}
 	return o
+}
+
+// dur renders a duration cell, honoring NoTiming.
+func (o Options) dur(d time.Duration) string {
+	if o.NoTiming {
+		return "*"
+	}
+	return fmtDur(d)
 }
 
 // systems lists the five target systems in Table 1 order.
@@ -109,49 +134,63 @@ var (
 )
 
 // buildTargets assembles explorer targets for every scenario, caching them
-// across tables (failure logs and analyses are deterministic).
-func buildTargets() (map[string]*core.Target, error) {
+// across tables (failure logs and analyses are deterministic). Target
+// construction itself — one static analysis per system plus two cluster
+// runs per scenario — fans across the worker pool on the first call.
+//
+// The returned map is a fresh copy per call, so callers may range, add or
+// delete freely without corrupting the cache or racing with each other.
+// The *core.Target values are shared: they are read-only by contract
+// (core.Reproduce and Verify never mutate their Target), which is what
+// lets every worker of every table share one target set.
+func buildTargets(workers int) (map[string]*core.Target, error) {
 	targetMu.Lock()
 	defer targetMu.Unlock()
-	if targetCache != nil {
-		return targetCache, nil
-	}
-	out := make(map[string]*core.Target)
-	for _, s := range failures.All() {
-		tgt, err := s.BuildTarget()
+	if targetCache == nil {
+		scens := failures.All()
+		targets, err := parallel.Map(workers, scens, func(_ int, s *failures.Scenario) (*core.Target, error) {
+			tgt, err := s.BuildTarget()
+			if err != nil {
+				return nil, fmt.Errorf("build target %s: %w", s.ID, err)
+			}
+			return tgt, nil
+		})
 		if err != nil {
-			return nil, fmt.Errorf("build target %s: %w", s.ID, err)
+			return nil, err
 		}
-		out[s.ID] = tgt
+		cache := make(map[string]*core.Target, len(scens))
+		for i, s := range scens {
+			cache[s.ID] = targets[i]
+		}
+		targetCache = cache
 	}
-	targetCache = out
+	out := make(map[string]*core.Target, len(targetCache))
+	for id, tgt := range targetCache {
+		out[id] = tgt
+	}
 	return out, nil
 }
 
+// medianInt returns the median without touching the caller's slice: cells
+// computed under the worker pool reuse their round/duration slices, so
+// sorting in place would silently reorder an aliased caller slice.
 func medianInt(vals []int) int {
 	if len(vals) == 0 {
 		return 0
 	}
-	sortInts(vals)
-	return vals[len(vals)/2]
+	s := make([]int, len(vals))
+	copy(s, vals)
+	sort.Ints(s)
+	return s[len(s)/2]
 }
 
+// medianDur is medianInt for durations; same copy-first contract.
 func medianDur(vals []time.Duration) time.Duration {
 	if len(vals) == 0 {
 		return 0
 	}
-	for i := 1; i < len(vals); i++ {
-		for j := i; j > 0 && vals[j] < vals[j-1]; j-- {
-			vals[j], vals[j-1] = vals[j-1], vals[j]
-		}
-	}
-	return vals[len(vals)/2]
-}
-
-func sortInts(v []int) {
-	for i := 1; i < len(v); i++ {
-		for j := i; j > 0 && v[j] < v[j-1]; j-- {
-			v[j], v[j-1] = v[j-1], v[j]
-		}
-	}
+	s := make([]time.Duration, len(vals))
+	copy(s, vals)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
 }

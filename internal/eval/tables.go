@@ -7,7 +7,19 @@ import (
 	"anduril/internal/cluster"
 	"anduril/internal/core"
 	"anduril/internal/failures"
+	"anduril/internal/parallel"
 )
+
+// reproduceCells runs one core.Reproduce per (scenario, options) cell on
+// the worker pool. Each cell is a hermetic, seeded run against a shared
+// read-only Target, and parallel.Map returns results in input order, so
+// the assembled tables do not depend on the worker count.
+func reproduceCells(workers int, targets map[string]*core.Target,
+	scens []*failures.Scenario, optFor func(i int, s *failures.Scenario) core.Options) ([]*core.Report, error) {
+	return parallel.Map(workers, scens, func(i int, s *failures.Scenario) (*core.Report, error) {
+		return core.Reproduce(targets[s.ID], optFor(i, s)), nil
+	})
+}
 
 // Table1FaultSites reproduces Table 1: per-system code size and fault-site
 // counts — total static sites, sites inferred by the causal graph for the
@@ -15,6 +27,10 @@ import (
 // (mean).
 func Table1FaultSites(opt Options) (*Table, error) {
 	opt = opt.withDefaults()
+	targets, err := buildTargets(opt.Workers)
+	if err != nil {
+		return nil, err
+	}
 	t := &Table{
 		Title:  "Table 1: target systems and fault sites",
 		Header: []string{"System", "LOC", "Total", "Inferred", "Dynamic"},
@@ -32,13 +48,14 @@ func Table1FaultSites(opt Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		reps, err := reproduceCells(opt.Workers, targets, scens, func(int, *failures.Scenario) core.Options {
+			return core.Options{Strategy: core.FullFeedback, Seed: opt.Seed, MaxRounds: 1}
+		})
+		if err != nil {
+			return nil, err
+		}
 		sumInferred, sumDynamic := 0, 0
-		for _, s := range scens {
-			tgt, err := s.BuildTarget()
-			if err != nil {
-				return nil, err
-			}
-			rep := core.Reproduce(tgt, core.Options{Strategy: core.FullFeedback, Seed: opt.Seed, MaxRounds: 1})
+		for _, rep := range reps {
 			sumInferred += rep.CandidateSites
 			sumDynamic += rep.CandidateInstances
 		}
@@ -63,13 +80,13 @@ var Table2Strategies = []core.Strategy{
 // Table2Efficacy reproduces Table 2: rounds and wall time per failure for
 // ANDURIL, its ablation variants, and the comparison systems. "-" means the
 // strategy did not reproduce within the round cap (the paper's 24-hour
-// analog).
+// analog). The failure × strategy grid fans across the worker pool.
 func Table2Efficacy(opt Options, strategies []core.Strategy) (*Table, error) {
 	opt = opt.withDefaults()
 	if strategies == nil {
 		strategies = Table2Strategies
 	}
-	targets, err := buildTargets()
+	targets, err := buildTargets(opt.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -84,14 +101,28 @@ func Table2Efficacy(opt Options, strategies []core.Strategy) (*Table, error) {
 			fmt.Sprintf("'-' = not reproduced within %d rounds (the paper's 24-hour analog).", opt.MaxRounds),
 		},
 	}
-	for _, s := range failures.All() {
+	scens := failures.All()
+	type cell struct{ fi, si int }
+	cells := make([]cell, 0, len(scens)*len(strategies))
+	for fi := range scens {
+		for si := range strategies {
+			cells = append(cells, cell{fi, si})
+		}
+	}
+	reps, err := parallel.Map(opt.Workers, cells, func(_ int, c cell) (*core.Report, error) {
+		return core.Reproduce(targets[scens[c.fi].ID], core.Options{
+			Strategy: strategies[c.si], Seed: opt.Seed, MaxRounds: opt.MaxRounds,
+		}), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for fi, s := range scens {
 		row := []string{fmt.Sprintf("%s (%s)", s.Issue, s.ID)}
-		for _, strat := range strategies {
-			rep := core.Reproduce(targets[s.ID], core.Options{
-				Strategy: strat, Seed: opt.Seed, MaxRounds: opt.MaxRounds,
-			})
+		for si := range strategies {
+			rep := reps[fi*len(strategies)+si]
 			if rep.Reproduced {
-				row = append(row, fmt.Sprint(rep.Rounds), fmtDur(rep.Elapsed))
+				row = append(row, fmt.Sprint(rep.Rounds), opt.dur(rep.Elapsed))
 			} else {
 				row = append(row, "-", "-")
 			}
@@ -102,28 +133,52 @@ func Table2Efficacy(opt Options, strategies []core.Strategy) (*Table, error) {
 }
 
 // Table3Sensitivity reproduces Table 3: rounds for the initial window size
-// k in {1,3,10} and the feedback adjustment s in {+1,+2,+10}.
+// k in {1,3,10} and the feedback adjustment s in {+1,+2,+10}. The
+// parameter × failure grid fans across the worker pool.
 func Table3Sensitivity(opt Options) (*Table, error) {
 	opt = opt.withDefaults()
-	targets, err := buildTargets()
+	targets, err := buildTargets(opt.Workers)
 	if err != nil {
 		return nil, err
 	}
+	scens := failures.All()
 	header := []string{"Param"}
-	for _, s := range failures.All() {
+	for _, s := range scens {
 		header = append(header, s.ID)
 	}
 	t := &Table{
 		Title:  "Table 3: sensitivity of the window size k and adjustment s (rounds)",
 		Header: header,
 	}
-	addRow := func(label string, window, adjust int) {
-		row := []string{label}
-		for _, s := range failures.All() {
-			rep := core.Reproduce(targets[s.ID], core.Options{
-				Strategy: core.FullFeedback, Seed: opt.Seed,
-				MaxRounds: opt.MaxRounds, Window: window, Adjust: adjust,
-			})
+	type param struct {
+		label          string
+		window, adjust int
+	}
+	params := []param{
+		{"k=1", 1, 1}, {"k=3", 3, 1}, {"k=10", 10, 1},
+		{"s=+1", 10, 1}, {"s=+2", 10, 2}, {"s=+10", 10, 10},
+	}
+	type cell struct{ pi, fi int }
+	cells := make([]cell, 0, len(params)*len(scens))
+	for pi := range params {
+		for fi := range scens {
+			cells = append(cells, cell{pi, fi})
+		}
+	}
+	reps, err := parallel.Map(opt.Workers, cells, func(_ int, c cell) (*core.Report, error) {
+		p := params[c.pi]
+		return core.Reproduce(targets[scens[c.fi].ID], core.Options{
+			Strategy: core.FullFeedback, Seed: opt.Seed,
+			MaxRounds: opt.MaxRounds, Window: p.window, Adjust: p.adjust,
+		}), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, p := range params {
+		row := []string{p.label}
+		for fi := range scens {
+			rep := reps[pi*len(scens)+fi]
 			if rep.Reproduced {
 				row = append(row, fmt.Sprint(rep.Rounds))
 			} else {
@@ -131,12 +186,6 @@ func Table3Sensitivity(opt Options) (*Table, error) {
 			}
 		}
 		t.Rows = append(t.Rows, row)
-	}
-	for _, k := range []int{1, 3, 10} {
-		addRow(fmt.Sprintf("k=%d", k), k, 1)
-	}
-	for _, s := range []int{1, 2, 10} {
-		addRow(fmt.Sprintf("s=+%d", s), 10, s)
 	}
 	return t, nil
 }
@@ -146,7 +195,7 @@ func Table3Sensitivity(opt Options) (*Table, error) {
 // workload time.
 func Table4Performance(opt Options) (*Table, error) {
 	opt = opt.withDefaults()
-	targets, err := buildTargets()
+	targets, err := buildTargets(opt.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -155,12 +204,15 @@ func Table4Performance(opt Options) (*Table, error) {
 		Header: []string{"System", "Inject.Req", "Latency", "Round Init", "Workload"},
 	}
 	for _, sys := range systems {
+		reps, err := reproduceCells(opt.Workers, targets, failures.BySystem(sys), func(int, *failures.Scenario) core.Options {
+			return core.Options{Strategy: core.FullFeedback, Seed: opt.Seed, MaxRounds: opt.MaxRounds}
+		})
+		if err != nil {
+			return nil, err
+		}
 		var reqs []int
 		var lat, init, work []time.Duration
-		for _, s := range failures.BySystem(sys) {
-			rep := core.Reproduce(targets[s.ID], core.Options{
-				Strategy: core.FullFeedback, Seed: opt.Seed, MaxRounds: opt.MaxRounds,
-			})
+		for _, rep := range reps {
 			reqs = append(reqs, rep.MedianInjectReqs())
 			lat = append(lat, rep.MeanDecisionLatency())
 			init = append(init, rep.MedianInitTime())
@@ -169,9 +221,9 @@ func Table4Performance(opt Options) (*Table, error) {
 		t.Rows = append(t.Rows, []string{
 			systemLabel[sys],
 			fmt.Sprint(medianInt(reqs)),
-			fmtDur(medianDur(lat)),
-			fmtDur(medianDur(init)),
-			fmtDur(medianDur(work)),
+			opt.dur(medianDur(lat)),
+			opt.dur(medianDur(init)),
+			opt.dur(medianDur(work)),
 		})
 	}
 	return t, nil
@@ -181,7 +233,7 @@ func Table4Performance(opt Options) (*Table, error) {
 // the injected fault kinds, and the stacktrace-injector results.
 func Table5Failures(opt Options) (*Table, error) {
 	opt = opt.withDefaults()
-	targets, err := buildTargets()
+	targets, err := buildTargets(opt.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -189,13 +241,18 @@ func Table5Failures(opt Options) (*Table, error) {
 		Title:  "Table 5: the 22-failure dataset and the stacktrace-injector baseline",
 		Header: []string{"Failure", "Injected Fault", "ST rnd", "ST time", "Description"},
 	}
-	for _, s := range failures.All() {
-		rep := core.Reproduce(targets[s.ID], core.Options{
-			Strategy: core.StackTrace, Seed: opt.Seed, MaxRounds: opt.MaxRounds,
-		})
+	scens := failures.All()
+	reps, err := reproduceCells(opt.Workers, targets, scens, func(int, *failures.Scenario) core.Options {
+		return core.Options{Strategy: core.StackTrace, Seed: opt.Seed, MaxRounds: opt.MaxRounds}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range scens {
+		rep := reps[i]
 		rnd, tm := "-", "-"
 		if rep.Reproduced {
-			rnd, tm = fmt.Sprint(rep.Rounds), fmtDur(rep.Elapsed)
+			rnd, tm = fmt.Sprint(rep.Rounds), opt.dur(rep.Elapsed)
 		}
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%s (%s)", s.Issue, s.ID),
@@ -208,10 +265,12 @@ func Table5Failures(opt Options) (*Table, error) {
 // Table6NewRootCauses reproduces appendix Table 6: failures where the
 // explorer's reproduction identifies a fault different from (or deeper
 // than) the developers' documented root cause, while still satisfying the
-// oracle.
+// oracle. Each cell reproduces and, when a new cause surfaces, verifies
+// the script — all inside the parallel stage; row order stays the dataset
+// order.
 func Table6NewRootCauses(opt Options) (*Table, error) {
 	opt = opt.withDefaults()
-	targets, err := buildTargets()
+	targets, err := buildTargets(opt.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -220,27 +279,35 @@ func Table6NewRootCauses(opt Options) (*Table, error) {
 		Header: []string{"Failure", "Documented root cause", "Discovered root cause", "Verified"},
 		Notes:  []string{"Rows appear when the oracle-satisfying fault differs from the ground-truth site."},
 	}
-	for _, s := range failures.All() {
+	rows, err := parallel.Map(opt.Workers, failures.All(), func(_ int, s *failures.Scenario) ([]string, error) {
 		rep := core.Reproduce(targets[s.ID], core.Options{
 			Strategy: core.FullFeedback, Seed: opt.Seed, MaxRounds: opt.MaxRounds,
 		})
 		if !rep.Reproduced || rep.Script == nil {
-			continue
+			return nil, nil
 		}
 		if rep.Script.Site == s.RootSite && s.NewRootCause == "" {
-			continue
+			return nil, nil
 		}
 		discovered := rep.Script.Site
 		if rep.Script.Site == s.RootSite {
 			discovered = s.NewRootCause
 		}
 		verified := core.Verify(targets[s.ID], *rep.Script, rep.ScriptSeed)
-		t.Rows = append(t.Rows, []string{
+		return []string{
 			fmt.Sprintf("%s (%s)", s.Issue, s.ID),
 			s.RootSite,
 			discovered,
 			fmt.Sprint(verified),
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		if row != nil {
+			t.Rows = append(t.Rows, row)
+		}
 	}
 	return t, nil
 }
@@ -264,10 +331,10 @@ func Table7StaticAnalysis(opt Options) (*Table, error) {
 		t.Rows = append(t.Rows, []string{
 			systemLabel[sys],
 			fmt.Sprint(an.LOC),
-			fmtDur(an.Timing.Exception),
-			fmtDur(an.Timing.Slicing),
-			fmtDur(an.Timing.Chaining),
-			fmtDur(an.Timing.Total),
+			opt.dur(an.Timing.Exception),
+			opt.dur(an.Timing.Slicing),
+			opt.dur(an.Timing.Chaining),
+			opt.dur(an.Timing.Total),
 			fmt.Sprint(an.Graph.NumNodes()),
 			fmt.Sprint(an.Graph.NumEdges()),
 		})
@@ -278,7 +345,7 @@ func Table7StaticAnalysis(opt Options) (*Table, error) {
 // Table8Runtime reproduces appendix Table 8: per-failure runtime details.
 func Table8Runtime(opt Options) (*Table, error) {
 	opt = opt.withDefaults()
-	targets, err := buildTargets()
+	targets, err := buildTargets(opt.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -286,16 +353,21 @@ func Table8Runtime(opt Options) (*Table, error) {
 		Title:  "Table 8: per-failure explorer runtime details",
 		Header: []string{"Failure", "Inject.Req", "Latency", "Round Init", "Workload", "FreeRun Lines"},
 	}
-	for _, s := range failures.All() {
-		rep := core.Reproduce(targets[s.ID], core.Options{
-			Strategy: core.FullFeedback, Seed: opt.Seed, MaxRounds: opt.MaxRounds,
-		})
+	scens := failures.All()
+	reps, err := reproduceCells(opt.Workers, targets, scens, func(int, *failures.Scenario) core.Options {
+		return core.Options{Strategy: core.FullFeedback, Seed: opt.Seed, MaxRounds: opt.MaxRounds}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range scens {
+		rep := reps[i]
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprintf("%s (%s)", s.Issue, s.ID),
 			fmt.Sprint(rep.MedianInjectReqs()),
-			fmtDur(rep.MeanDecisionLatency()),
-			fmtDur(rep.MedianInitTime()),
-			fmtDur(rep.MedianRunTime()),
+			opt.dur(rep.MeanDecisionLatency()),
+			opt.dur(rep.MedianInitTime()),
+			opt.dur(rep.MedianRunTime()),
 			fmt.Sprint(rep.FreeRunLogLines),
 		})
 	}

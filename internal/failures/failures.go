@@ -53,25 +53,36 @@ type Scenario struct {
 // the failure log; the explorer's rounds use unrelated seeds.
 const FailureSeed = 9999
 
+// analysisEntry caches one system's static analysis behind a sync.Once,
+// so concurrent Analyze calls for different systems proceed in parallel
+// while calls for the same system share a single computation.
+type analysisEntry struct {
+	once sync.Once
+	res  *analysis.Result
+	err  error
+}
+
 var (
-	analysisMu    sync.Mutex
-	analysisCache = map[string]*analysis.Result{}
+	analysisMu    sync.Mutex // guards the cache map only, never the analysis
+	analysisCache = map[string]*analysisEntry{}
 )
 
 // Analyze returns the (cached) static analysis for the scenario's system.
+// It is safe for concurrent use; the returned Result is shared and must be
+// treated as read-only (every accessor on analysis.Result already is).
 func (s *Scenario) Analyze() (*analysis.Result, error) {
 	key := fmt.Sprint(s.SrcDirs)
 	analysisMu.Lock()
-	defer analysisMu.Unlock()
-	if res, ok := analysisCache[key]; ok {
-		return res, nil
+	e, ok := analysisCache[key]
+	if !ok {
+		e = &analysisEntry{}
+		analysisCache[key] = e
 	}
-	res, err := analysis.AnalyzePackages(s.SrcDirs)
-	if err != nil {
-		return nil, err
-	}
-	analysisCache[key] = res
-	return res, nil
+	analysisMu.Unlock()
+	e.once.Do(func() {
+		e.res, e.err = analysis.AnalyzePackages(s.SrcDirs)
+	})
+	return e.res, e.err
 }
 
 // GroundTruth finds the root-cause instance under the given seed.
@@ -123,6 +134,9 @@ func (s *Scenario) BuildTarget() (*core.Target, error) {
 	}, nil
 }
 
+// registry is populated by package init functions only; after program
+// initialization it is read-only, so All/ByID/BySystem are safe to call
+// from any number of goroutines (the parallel evaluation harness does).
 var registry []*Scenario
 
 func register(s *Scenario) { registry = append(registry, s) }

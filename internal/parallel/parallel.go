@@ -1,0 +1,84 @@
+// Package parallel is the deterministic worker pool behind the evaluation
+// harness. Every experiment cell (failure × strategy/parameter) is a
+// hermetic, seeded run, so the full evaluation grid is embarrassingly
+// parallel; what must NOT vary with concurrency is the output. Map
+// therefore assigns results by input index, not completion order, so a
+// parallel run renders byte-identical tables to a serial one for a fixed
+// seed (wall-clock measurements aside — those are never deterministic,
+// even serially).
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a worker-count request: n > 0 is taken verbatim;
+// anything else means one worker per available CPU (GOMAXPROCS).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map applies f to every item on up to workers goroutines and returns the
+// results in input order. workers <= 0 means Workers(0); workers == 1 runs
+// serially on the calling goroutine and stops at the first error, exactly
+// like the loop it replaces. In parallel mode every item is attempted and,
+// if any fail, the error of the lowest-indexed failing item is returned
+// (again: deterministic, independent of scheduling).
+//
+// f must be safe to call concurrently with itself; it receives the item's
+// index so callers can derive per-cell seeds or labels without shared
+// state.
+func Map[T, R any](workers int, items []T, f func(i int, item T) (R, error)) ([]R, error) {
+	results := make([]R, len(items))
+	if len(items) == 0 {
+		return results, nil
+	}
+	workers = Workers(workers)
+	if workers > len(items) {
+		workers = len(items)
+	}
+	if workers <= 1 {
+		for i, item := range items {
+			r, err := f(i, item)
+			if err != nil {
+				return results, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+
+	errs := make([]error, len(items))
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				r, err := f(i, items[i])
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				results[i] = r
+			}
+		}()
+	}
+	for i := range items {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,107 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Fatalf("Workers(4)=%d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if got := Workers(0); got != want {
+		t.Fatalf("Workers(0)=%d want %d", got, want)
+	}
+	if got := Workers(-3); got != want {
+		t.Fatalf("Workers(-3)=%d want %d", got, want)
+	}
+}
+
+// Results must land at their input index regardless of completion order.
+func TestMapStableOrdering(t *testing.T) {
+	items := make([]int, 64)
+	for i := range items {
+		items[i] = i
+	}
+	for _, workers := range []int{1, 2, 8, 100} {
+		out, err := Map(workers, items, func(i, item int) (string, error) {
+			if item%7 == 0 {
+				time.Sleep(time.Millisecond) // scramble completion order
+			}
+			return fmt.Sprintf("%d:%d", i, item*2), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range items {
+			if want := fmt.Sprintf("%d:%d", i, i*2); out[i] != want {
+				t.Fatalf("workers=%d out[%d]=%q want %q", workers, i, out[i], want)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(8, nil, func(i, item int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty: out=%v err=%v", out, err)
+	}
+}
+
+// In parallel mode the reported error must be the lowest-indexed one, so
+// failures are deterministic under concurrency too.
+func TestMapLowestIndexError(t *testing.T) {
+	items := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	for trial := 0; trial < 10; trial++ {
+		_, err := Map(4, items, func(i, item int) (int, error) {
+			if i >= 3 {
+				return 0, fmt.Errorf("fail-%d", i)
+			}
+			return item, nil
+		})
+		if err == nil || err.Error() != "fail-3" {
+			t.Fatalf("trial %d: err=%v want fail-3", trial, err)
+		}
+	}
+}
+
+// Serial mode reproduces the plain loop: it stops at the first error.
+func TestMapSerialStopsEarly(t *testing.T) {
+	var calls atomic.Int32
+	boom := errors.New("boom")
+	_, err := Map(1, []int{0, 1, 2, 3}, func(i, item int) (int, error) {
+		calls.Add(1)
+		if i == 1 {
+			return 0, boom
+		}
+		return item, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err=%v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("serial mode made %d calls, want 2", got)
+	}
+}
+
+// All items are processed exactly once even with more workers than items.
+func TestMapEachItemOnce(t *testing.T) {
+	counts := make([]atomic.Int32, 10)
+	_, err := Map(32, make([]struct{}, len(counts)), func(i int, _ struct{}) (int, error) {
+		counts[i].Add(1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if got := counts[i].Load(); got != 1 {
+			t.Fatalf("item %d processed %d times", i, got)
+		}
+	}
+}
