@@ -6,16 +6,25 @@
 //
 //	anduril -list
 //	anduril -failure f17 [-strategy full-feedback] [-seed 1] [-max-rounds 500] [-window 10] [-adjust 1] [-v]
+//	anduril -failure f3 -trace run.trace.jsonl     # structured JSONL trace of the search
+//	anduril -failure f3 -trace - | trace -stats -  # '-' streams the trace to stdout
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"anduril"
 	"anduril/internal/core"
+	"anduril/internal/trace"
 )
+
+// out carries the human-readable progress output. It is stdout unless
+// -trace - claims stdout for the JSONL stream, in which case the progress
+// moves to stderr so `anduril -trace - | trace -` stays clean.
+var out io.Writer = os.Stdout
 
 func main() {
 	var (
@@ -30,6 +39,7 @@ func main() {
 		iterative = flag.Int("iterative", 0, "search for up to N causally-independent faults")
 		scriptOut = flag.String("script-out", "", "write the reproduction script as JSON to this file")
 		dotOut    = flag.String("graph-dot", "", "write the static causal graph (Graphviz) to this file")
+		traceOut  = flag.String("trace", "", "write a JSONL explorer trace to this file ('-' = stdout, for piping into cmd/trace)")
 	)
 	flag.Parse()
 
@@ -46,12 +56,34 @@ func main() {
 		os.Exit(2)
 	}
 
+	var sink *trace.Writer
+	if *traceOut != "" {
+		w := io.Writer(os.Stdout)
+		if *traceOut == "-" {
+			out = os.Stderr
+		} else {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "anduril: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		sink = trace.NewWriter(w)
+		defer func() {
+			if err := sink.Err(); err != nil {
+				fmt.Fprintf(os.Stderr, "anduril: trace: %v\n", err)
+			}
+		}()
+	}
+
 	target, err := anduril.Dataset(*failure)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "anduril: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("reproducing %s (%s) on %s: %s\n", target.ID, target.Issue, target.System, target.Description)
+	fmt.Fprintf(out, "reproducing %s (%s) on %s: %s\n", target.ID, target.Issue, target.System, target.Description)
 
 	if *dotOut != "" {
 		dot := target.Analysis.Graph.DOT(target.ID, 400)
@@ -59,36 +91,35 @@ func main() {
 			fmt.Fprintf(os.Stderr, "anduril: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("causal graph written to %s (%d nodes, %d edges)\n",
+		fmt.Fprintf(out, "causal graph written to %s (%d nodes, %d edges)\n",
 			*dotOut, target.Analysis.Graph.NumNodes(), target.Analysis.Graph.NumEdges())
 	}
 
+	opts := anduril.Options{
+		Strategy: anduril.Strategy(*strategy), Seed: *seed,
+		MaxRounds: *maxRounds, Window: *window, Adjust: *adjust,
+	}
+	if sink != nil {
+		opts.Trace = sink
+	}
+
 	if *iterative > 1 {
-		iter := anduril.ReproduceIterative(target, anduril.Options{
-			Strategy: anduril.Strategy(*strategy), Seed: *seed,
-			MaxRounds: *maxRounds, Window: *window, Adjust: *adjust,
-		}, *iterative)
+		iter := anduril.ReproduceIterative(target, opts, *iterative)
 		if !iter.Reproduced {
-			fmt.Printf("NOT reproduced after %d passes\n", len(iter.Reports))
+			fmt.Fprintf(out, "NOT reproduced after %d passes\n", len(iter.Reports))
 			os.Exit(1)
 		}
-		fmt.Printf("REPRODUCED with %d faults: %v\n", len(iter.Scripts), iter.Scripts)
+		fmt.Fprintf(out, "REPRODUCED with %d faults: %v\n", len(iter.Scripts), iter.Scripts)
 		if *scriptOut != "" {
 			writeScript(*scriptOut, func() (*core.ScriptFile, error) { return core.ScriptOfIter(iter) })
 		}
 		return
 	}
 
-	report := anduril.Reproduce(target, anduril.Options{
-		Strategy:  anduril.Strategy(*strategy),
-		Seed:      *seed,
-		MaxRounds: *maxRounds,
-		Window:    *window,
-		Adjust:    *adjust,
-		TrackRank: true,
-	})
+	opts.TrackRank = true
+	report := anduril.Reproduce(target, opts)
 
-	fmt.Printf("free run: %d log lines, %d relevant observables, %d candidate sites, %d candidate instances\n",
+	fmt.Fprintf(out, "free run: %d log lines, %d relevant observables, %d candidate sites, %d candidate instances\n",
 		report.FreeRunLogLines, report.RelevantObservables, report.CandidateSites, report.CandidateInstances)
 	if *verbose {
 		for _, rd := range report.RoundLog {
@@ -96,22 +127,22 @@ func main() {
 			if rd.Injected != nil {
 				injected = fmt.Sprintf("injected %s#%d", rd.Injected.Site, rd.Injected.Occurrence)
 			}
-			fmt.Printf("  round %3d: window=%d rank(root)=%d %s satisfied=%v\n",
+			fmt.Fprintf(out, "  round %3d: window=%d rank(root)=%d %s satisfied=%v\n",
 				rd.N, rd.WindowSize, rd.RootRank, injected, rd.Satisfied)
 		}
 	}
 
 	if !report.Reproduced {
-		fmt.Printf("NOT reproduced after %d rounds (%.2fs)\n", report.Rounds, report.Elapsed.Seconds())
+		fmt.Fprintf(out, "NOT reproduced after %d rounds (%.2fs)\n", report.Rounds, report.Elapsed.Seconds())
 		os.Exit(1)
 	}
-	fmt.Printf("REPRODUCED in %d rounds (%.2fs)\n", report.Rounds, report.Elapsed.Seconds())
-	fmt.Println(anduril.Script(report))
+	fmt.Fprintf(out, "REPRODUCED in %d rounds (%.2fs)\n", report.Rounds, report.Elapsed.Seconds())
+	fmt.Fprintln(out, anduril.Script(report))
 
 	if anduril.Verify(target, *report.Script, report.ScriptSeed) {
-		fmt.Println("script verified: deterministic replay satisfies the oracle")
+		fmt.Fprintln(out, "script verified: deterministic replay satisfies the oracle")
 	} else {
-		fmt.Println("warning: script replay did not satisfy the oracle under a fresh seed")
+		fmt.Fprintln(out, "warning: script replay did not satisfy the oracle under a fresh seed")
 	}
 	if *scriptOut != "" {
 		writeScript(*scriptOut, func() (*core.ScriptFile, error) { return core.ScriptOf(report) })
@@ -133,5 +164,5 @@ func writeScript(path string, build func() (*core.ScriptFile, error)) {
 		fmt.Fprintf(os.Stderr, "anduril: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("reproduction script written to %s\n", path)
+	fmt.Fprintf(out, "reproduction script written to %s\n", path)
 }

@@ -33,10 +33,11 @@ func main() {
 		fig6      = flag.String("fig6-failure", "f4", "failure for the Figure 6 trajectory")
 		workers   = flag.Int("j", 0, "experiment-cell workers: 0 = one per CPU, 1 = serial")
 		noTime    = flag.Bool("no-time", false, "render wall-time cells as '*' (byte-stable output)")
+		traceDir  = flag.String("trace-dir", "", "write one JSONL explorer trace per experiment cell into this directory")
 	)
 	flag.Parse()
 
-	opt := eval.Options{Seed: *seed, MaxRounds: *maxRounds, Workers: *workers, NoTiming: *noTime}
+	opt := eval.Options{Seed: *seed, MaxRounds: *maxRounds, Workers: *workers, NoTiming: *noTime, TraceDir: *traceDir}
 	all := *table == 0 && *figure == 0
 
 	type gen struct {

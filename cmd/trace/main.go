@@ -1,0 +1,266 @@
+// Command trace pretty-prints, filters, aggregates and diffs the JSONL
+// explorer traces emitted by cmd/anduril -trace and cmd/tables -trace-dir.
+//
+// Usage:
+//
+//	trace run.trace.jsonl                 # pretty-print every event
+//	trace -site zk.election.accept run.trace.jsonl
+//	trace -round 3 run.trace.jsonl
+//	trace -event feedback run.trace.jsonl
+//	trace -stats run.trace.jsonl          # aggregate counters/histograms
+//	trace -diff a.trace.jsonl b.trace.jsonl
+//	anduril -failure f3 -trace - | trace -  # read from stdin
+//
+// Filters compose (AND). -diff compares two traces event by event and
+// exits 1 on the first divergence, so it doubles as a determinism check.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"anduril/internal/trace"
+)
+
+func main() {
+	var (
+		site    = flag.String("site", "", "only events touching this fault site (substring match)")
+		round   = flag.Int("round", 0, "only events of this round (free_run/outcome always shown)")
+		event   = flag.String("event", "", "only events of this type (free_run, round, decision, injected, window_grow, feedback, outcome)")
+		stats   = flag.Bool("stats", false, "print aggregate counters and histograms instead of events")
+		diff    = flag.Bool("diff", false, "compare two trace files event by event; exit 1 if they differ")
+		maxDiff = flag.Int("max-diffs", 10, "divergences to report in -diff mode")
+	)
+	flag.Parse()
+
+	if *diff {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-diff needs exactly two trace files"))
+		}
+		a, err := readTrace(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		b, err := readTrace(flag.Arg(1))
+		if err != nil {
+			fatal(err)
+		}
+		ds := trace.Diff(a, b, *maxDiff)
+		if len(ds) == 0 {
+			fmt.Printf("identical: %d events\n", len(a))
+			return
+		}
+		fmt.Printf("traces differ (%d vs %d events):\n", len(a), len(b))
+		for _, d := range ds {
+			fmt.Println(d)
+		}
+		os.Exit(1)
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "trace: one trace file required ('-' = stdin)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	events, err := readTrace(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	if *stats {
+		printStats(trace.AggregateStats(events))
+		return
+	}
+
+	shown := 0
+	for i := range events {
+		ev := &events[i]
+		if !match(ev, *site, *round, trace.EventType(*event)) {
+			continue
+		}
+		fmt.Println(render(ev))
+		shown++
+	}
+	if shown == 0 {
+		fmt.Fprintln(os.Stderr, "trace: no events match the filters")
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+	os.Exit(1)
+}
+
+func readTrace(path string) ([]trace.Event, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return trace.ReadAll(r)
+}
+
+// match applies the -site/-round/-event filters. The stream's frame
+// events (free_run, outcome) carry no round and survive a -round filter
+// so filtered output stays self-describing.
+func match(ev *trace.Event, site string, round int, typ trace.EventType) bool {
+	if typ != "" && ev.Type != typ {
+		return false
+	}
+	if round > 0 && ev.Round != round && ev.Type != trace.FreeRun && ev.Type != trace.Outcome {
+		return false
+	}
+	if site != "" && !touchesSite(ev, site) {
+		return false
+	}
+	return true
+}
+
+func touchesSite(ev *trace.Event, site string) bool {
+	if strings.Contains(ev.Site, site) {
+		return true
+	}
+	for _, s := range ev.Sites {
+		if strings.Contains(s.Site, site) {
+			return true
+		}
+	}
+	for _, s := range ev.Top {
+		if strings.Contains(s.Site, site) {
+			return true
+		}
+	}
+	for _, c := range ev.Candidates {
+		if strings.Contains(c.Site, site) {
+			return true
+		}
+	}
+	for _, d := range ev.Deltas {
+		if strings.Contains(d.Site, site) {
+			return true
+		}
+	}
+	return false
+}
+
+// render formats one event as a human-readable line (or a few, for the
+// snapshot events).
+func render(ev *trace.Event) string {
+	var b strings.Builder
+	switch ev.Type {
+	case trace.FreeRun:
+		fmt.Fprintf(&b, "free run: target=%s strategy=%s seed=%d — %d log lines, %d observables, %d candidate sites",
+			ev.Target, ev.Strategy, ev.Seed, ev.LogLines, len(ev.Observables), len(ev.Sites))
+		for _, s := range ev.Sites {
+			fmt.Fprintf(&b, "\n  site %-45s %d instances", s.Site, s.Instances)
+		}
+	case trace.RoundStart:
+		fmt.Fprintf(&b, "round %3d: window=%d", ev.Round, ev.Window)
+		if ev.RootRank > 0 {
+			fmt.Fprintf(&b, " rank(root)=%d", ev.RootRank)
+		}
+		for i, s := range ev.Top {
+			fmt.Fprintf(&b, "\n  #%d %-45s F=%v tried=%d", i+1, s.Site, float64(s.F), s.Tried)
+			if s.BestObs != "" {
+				fmt.Fprintf(&b, " via %q", clip(s.BestObs, 50))
+			}
+		}
+	case trace.Decision:
+		fmt.Fprintf(&b, "round %3d: decide over %d candidates (window=%d, budget=%d):",
+			ev.Round, ev.CandidateCount, ev.Window, ev.Budget)
+		for _, c := range ev.Candidates {
+			fmt.Fprintf(&b, " %s#%d", c.Site, c.Occ)
+		}
+		if ev.CandidateCount > len(ev.Candidates) {
+			fmt.Fprintf(&b, " … (+%d more)", ev.CandidateCount-len(ev.Candidates))
+		}
+	case trace.Injected:
+		verdict := "oracle not satisfied"
+		if ev.Satisfied {
+			verdict = "ORACLE SATISFIED"
+		}
+		fmt.Fprintf(&b, "round %3d: injected %s#%d — %s", ev.Round, ev.Site, ev.Occ, verdict)
+	case trace.WindowGrow:
+		fmt.Fprintf(&b, "round %3d: no candidate occurred; window %d -> %d", ev.Round, ev.From, ev.To)
+		if ev.Clamped {
+			b.WriteString(" (clamped to fault space)")
+		}
+	case trace.Feedback:
+		fmt.Fprintf(&b, "round %3d: feedback — %d observables still missing, %d priorities adjusted",
+			ev.Round, ev.Missing, len(ev.Bumped))
+		for _, o := range ev.Bumped {
+			fmt.Fprintf(&b, "\n  I[%s] -> %d", clip(o.Obs, 60), o.Priority)
+		}
+		for _, d := range ev.Deltas {
+			fmt.Fprintf(&b, "\n  F[%s] %v -> %v", d.Site, float64(d.Before), float64(d.After))
+		}
+	case trace.Outcome:
+		fmt.Fprintf(&b, "outcome: reproduced=%v rounds=%d reason=%s", ev.Reproduced, ev.Rounds, ev.Reason)
+		if ev.Reproduced {
+			fmt.Fprintf(&b, " script=%s#%d seed=%d", ev.Site, ev.Occ, ev.ScriptSeed)
+		}
+		if ev.RootRank > 0 {
+			fmt.Fprintf(&b, " final-rank(root)=%d", ev.RootRank)
+		}
+	default:
+		return trace.Line(ev)
+	}
+	return b.String()
+}
+
+func clip(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}
+
+func printStats(s trace.Stats) {
+	fmt.Printf("rounds:            %d\n", s.Rounds)
+	fmt.Printf("injections:        %d\n", s.Injections)
+	fmt.Printf("empty rounds:      %d (window doubled)\n", s.EmptyRound)
+	fmt.Printf("reproduced:        %v\n", s.Reproduced)
+	fmt.Printf("events by type:\n")
+	for _, k := range sortedKeys(s.Events) {
+		fmt.Printf("  %-12s %d\n", k, s.Events[trace.EventType(k)])
+	}
+	fmt.Printf("window sizes (size: rounds):\n")
+	for _, k := range sortedInts(s.WindowSizes) {
+		fmt.Printf("  %4d: %d\n", k, s.WindowSizes[k])
+	}
+	fmt.Printf("decisions per round (candidates: rounds):\n")
+	for _, k := range sortedInts(s.DecisionSz) {
+		fmt.Printf("  %4d: %d\n", k, s.DecisionSz[k])
+	}
+	fmt.Printf("trials per site:\n")
+	for _, k := range sortedKeys(s.SiteTrials) {
+		fmt.Printf("  %-45s %d\n", k, s.SiteTrials[k])
+	}
+}
+
+func sortedKeys[V any, K ~string](m map[K]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, string(k))
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedInts[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -26,6 +26,7 @@ import (
 	"anduril/internal/inject"
 	"anduril/internal/logging"
 	"anduril/internal/oracle"
+	"anduril/internal/trace"
 )
 
 // Strategy selects the exploration algorithm.
@@ -106,6 +107,14 @@ type Options struct {
 	TemporalByOrder bool // T by instance order instead of log-message count
 	FixedWindow     bool // never double the window on empty rounds
 	GlobalDiff      bool // diff logs globally instead of per thread
+
+	// Trace receives the structured event stream of the search: free-run
+	// setup, per-round ranked-site snapshots, injection decisions, feedback
+	// deltas and the terminal outcome. Events carry only seed-determined
+	// data, so the stream is byte-identical for a fixed (Target, Options).
+	// nil (the default) disables tracing at zero cost: the engine checks
+	// the sink before building any event.
+	Trace trace.Sink
 }
 
 func (o Options) withDefaults() Options {

@@ -10,6 +10,7 @@ import (
 	"anduril/internal/inject"
 	"anduril/internal/logdiff"
 	"anduril/internal/logging"
+	"anduril/internal/trace"
 )
 
 // observable is one relevant observable o_k (§5.1): a log message that only
@@ -70,6 +71,27 @@ func newEngine(t *Target, o Options) *engine {
 	}}
 }
 
+// tracing reports whether a trace sink is attached. Every emission below
+// is guarded by it, so a disabled trace builds no events and allocates
+// nothing on the search path.
+func (e *engine) tracing() bool { return e.o.Trace != nil }
+
+func (e *engine) emit(ev *trace.Event) { e.o.Trace.Emit(ev) }
+
+// obsLabel renders an observable's identity for trace events.
+func obsLabel(o *observable) string { return o.key.Thread + ": " + o.key.Msg }
+
+// traceInjected records the reach at which a round's fault fired.
+func (e *engine) traceInjected(round int, inst inject.Instance, satisfied bool) {
+	if !e.tracing() {
+		return
+	}
+	e.emit(&trace.Event{
+		Type: trace.Injected, Round: round,
+		Site: inst.Site, Occ: inst.Occurrence, Satisfied: satisfied,
+	})
+}
+
 // bakedPlan returns the plan injecting the baked faults (nil when none).
 func (e *engine) bakedPlan(extra inject.Plan) inject.Plan {
 	if len(e.baked) == 0 {
@@ -112,6 +134,28 @@ func (e *engine) run() *Report {
 		e.enumerativeLoop(free)
 	}
 	e.report.Elapsed = time.Since(start)
+
+	if e.tracing() {
+		ev := &trace.Event{
+			Type: trace.Outcome, Reproduced: e.report.Reproduced,
+			Rounds: e.report.Rounds,
+		}
+		switch {
+		case e.report.Reproduced:
+			ev.Reason = trace.ReasonReproduced
+			ev.Site = e.report.Script.Site
+			ev.Occ = e.report.Script.Occurrence
+			ev.ScriptSeed = e.report.ScriptSeed
+		case e.report.Rounds >= e.o.MaxRounds:
+			ev.Reason = trace.ReasonRoundCap
+		default:
+			ev.Reason = trace.ReasonExhausted
+		}
+		if n := len(e.report.RoundLog); n > 0 {
+			ev.RootRank = e.report.RoundLog[n-1].RootRank
+		}
+		e.emit(ev)
+	}
 	return e.report
 }
 
@@ -200,6 +244,22 @@ func (e *engine) setup(free *cluster.Result) {
 	// Baked faults are part of the workload now; never re-explore them.
 	for _, b := range e.baked {
 		e.markTried(b)
+	}
+
+	if e.tracing() {
+		obsLabels := make([]string, len(e.obs))
+		for i, o := range e.obs {
+			obsLabels[i] = obsLabel(o)
+		}
+		siteCounts := make([]trace.SiteCount, len(e.sites))
+		for i, s := range e.sites {
+			siteCounts[i] = trace.SiteCount{Site: s.id, Instances: len(s.instances)}
+		}
+		e.emit(&trace.Event{
+			Type: trace.FreeRun, Target: e.t.ID, Strategy: string(e.o.Strategy),
+			Seed: e.o.Seed, LogLines: len(free.Entries), Observables: obsLabels,
+			Sites: siteCounts,
+		})
 	}
 }
 
@@ -385,6 +445,29 @@ func (e *engine) feedbackLoop() {
 			rootRank = e.rootRank(ranked)
 		}
 
+		if e.tracing() {
+			rank := rootRank
+			if !e.o.TrackRank {
+				rank = e.rootRank(ranked)
+			}
+			top := ranked
+			if len(top) > trace.TopK {
+				top = top[:trace.TopK]
+			}
+			snap := make([]trace.SiteRank, len(top))
+			for i, s := range top {
+				sr := trace.SiteRank{Site: s.id, F: trace.Float(s.f), Tried: len(s.tried)}
+				if s.bestObs >= 0 {
+					sr.BestObs = obsLabel(e.obs[s.bestObs])
+				}
+				snap[i] = sr
+			}
+			e.emit(&trace.Event{
+				Type: trace.RoundStart, Round: round, Window: window,
+				RootRank: rank, Top: snap,
+			})
+		}
+
 		var candidates []inject.Instance
 		if multiply {
 			candidates = e.multiplyCandidates(ranked, window)
@@ -402,11 +485,19 @@ func (e *engine) feedbackLoop() {
 			return // fault space exhausted: cannot reproduce (step 5)
 		}
 		initTime := time.Since(initStart)
+		e.traceDecision(round, window, candidates)
 
 		res, rd := e.executeRound(round, inject.Window(candidates), initTime, window, rootRank)
 		if rd.Injected == nil {
 			// Nothing in the window occurred this round: widen it (§5.2.5).
-			window = e.growWindow(window)
+			grown := e.growWindow(window)
+			if e.tracing() {
+				e.emit(&trace.Event{
+					Type: trace.WindowGrow, Round: round, From: window, To: grown,
+					Clamped: !e.o.FixedWindow && grown < window*2,
+				})
+			}
+			window = grown
 			e.report.RoundLog = append(e.report.RoundLog, *rd)
 			e.report.Rounds = round
 			continue
@@ -414,6 +505,7 @@ func (e *engine) feedbackLoop() {
 		e.markTried(*rd.Injected)
 
 		if e.t.Oracle.Satisfied(res) {
+			e.traceInjected(round, *rd.Injected, true)
 			rd.Satisfied = true
 			e.report.RoundLog = append(e.report.RoundLog, *rd)
 			e.report.Rounds = round
@@ -431,6 +523,7 @@ func (e *engine) feedbackLoop() {
 			seed := e.o.Seed + int64(e.o.MaxRounds) + int64(round*e.o.RunsPerRound+extra)
 			res2 := cluster.Execute(seed, e.bakedPlan(inject.Exact(*rd.Injected)), false, e.t.Workload, e.t.Horizon)
 			if e.t.Oracle.Satisfied(res2) {
+				e.traceInjected(round, *rd.Injected, true)
 				rd.Satisfied = true
 				e.report.RoundLog = append(e.report.RoundLog, *rd)
 				e.report.Rounds = round
@@ -441,17 +534,25 @@ func (e *engine) feedbackLoop() {
 			}
 			results = append(results, res2)
 		}
+		e.traceInjected(round, *rd.Injected, false)
 
 		missing := e.missingIn(results)
 		missingCount := 0
+		var bumped []trace.ObsPriority
 		for i, still := range missing {
 			if still {
 				missingCount++
 			} else if useFeedback {
 				e.obs[i].priority += e.o.Adjust
+				if e.tracing() {
+					bumped = append(bumped, trace.ObsPriority{
+						Obs: obsLabel(e.obs[i]), Priority: e.obs[i].priority,
+					})
+				}
 			}
 		}
 		rd.MissingObs = missingCount
+		e.traceFeedback(round, missingCount, bumped, useFeedback)
 		if e.report.BestPartial == nil || missingCount < e.report.BestPartialMissing {
 			e.report.BestPartial = rd.Injected
 			e.report.BestPartialMissing = missingCount
@@ -459,6 +560,54 @@ func (e *engine) feedbackLoop() {
 		e.report.RoundLog = append(e.report.RoundLog, *rd)
 		e.report.Rounds = round
 	}
+}
+
+// traceDecision records the candidate window handed to the runtime: the
+// first trace.MaxCandidates members, the full count, and the injection
+// budget (1 searched fault plus any baked ones).
+func (e *engine) traceDecision(round, window int, candidates []inject.Instance) {
+	if !e.tracing() {
+		return
+	}
+	list := candidates
+	if len(list) > trace.MaxCandidates {
+		list = list[:trace.MaxCandidates]
+	}
+	cs := make([]trace.Candidate, len(list))
+	for i, c := range list {
+		cs[i] = trace.Candidate{Site: c.Site, Occ: c.Occurrence}
+	}
+	e.emit(&trace.Event{
+		Type: trace.Decision, Round: round, Window: window,
+		Candidates: cs, CandidateCount: len(candidates), Budget: 1 + len(e.baked),
+	})
+}
+
+// traceFeedback records an Algorithm 2 update: the observables whose I_k
+// was adjusted and the resulting F_i deltas. The deltas need next round's
+// priorities; recomputing them here is idempotent (the next round's
+// computePriorities produces the same values) and only happens when a
+// sink is attached.
+func (e *engine) traceFeedback(round, missing int, bumped []trace.ObsPriority, useFeedback bool) {
+	if !e.tracing() {
+		return
+	}
+	ev := &trace.Event{Type: trace.Feedback, Round: round, Missing: missing, Bumped: bumped}
+	if useFeedback && len(bumped) > 0 {
+		before := make(map[string]float64, len(e.sites))
+		for _, s := range e.sites {
+			before[s.id] = s.f
+		}
+		e.computePriorities(true, useFeedback)
+		for _, s := range e.sites {
+			if s.f != before[s.id] {
+				ev.Deltas = append(ev.Deltas, trace.SiteDelta{
+					Site: s.id, Before: trace.Float(before[s.id]), After: trace.Float(s.f),
+				})
+			}
+		}
+	}
+	e.emit(ev)
 }
 
 // growWindow doubles the flexible window (§5.2.5), clamped to the total

@@ -28,15 +28,20 @@ func (e *engine) enumerativeLoop(free *cluster.Result) {
 
 	for round := 1; round <= e.o.MaxRounds && round <= len(queue); round++ {
 		cand := queue[round-1]
+		e.traceDecision(round, 1, []inject.Instance{cand})
 		res, rd := e.executeRound(round, inject.Exact(cand), 0, 1, 0)
-		if rd.Injected != nil && e.t.Oracle.Satisfied(res) {
-			rd.Satisfied = true
-			e.report.RoundLog = append(e.report.RoundLog, *rd)
-			e.report.Rounds = round
-			e.report.Reproduced = true
-			e.report.Script = rd.Injected
-			e.report.ScriptSeed = e.o.Seed + int64(round)
-			return
+		if rd.Injected != nil {
+			satisfied := e.t.Oracle.Satisfied(res)
+			e.traceInjected(round, *rd.Injected, satisfied)
+			if satisfied {
+				rd.Satisfied = true
+				e.report.RoundLog = append(e.report.RoundLog, *rd)
+				e.report.Rounds = round
+				e.report.Reproduced = true
+				e.report.Script = rd.Injected
+				e.report.ScriptSeed = e.o.Seed + int64(round)
+				return
+			}
 		}
 		e.report.RoundLog = append(e.report.RoundLog, *rd)
 		e.report.Rounds = round

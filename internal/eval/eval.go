@@ -7,6 +7,8 @@ package eval
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -15,6 +17,7 @@ import (
 	"anduril/internal/core"
 	"anduril/internal/failures"
 	"anduril/internal/parallel"
+	"anduril/internal/trace"
 )
 
 // Table is a rendered experiment result.
@@ -83,6 +86,14 @@ type Options struct {
 	// cmd/tables -no-time flag). Round counts, the paper's efficiency
 	// metric, are unaffected.
 	NoTiming bool
+
+	// TraceDir, when non-empty, writes one JSONL explorer trace per
+	// experiment cell into this directory (created if absent), named
+	// <table>-<failure>[-<strategy>].trace.jsonl. Each cell owns its file,
+	// so capture works under any worker count; trace events carry only
+	// seed-determined data, so the files are byte-identical across -j
+	// settings for a fixed seed (the CI determinism job diffs them).
+	TraceDir string
 }
 
 func (o Options) withDefaults() Options {
@@ -169,6 +180,32 @@ func buildTargets(workers int) (map[string]*core.Target, error) {
 		out[id] = tgt
 	}
 	return out, nil
+}
+
+// cellTrace attaches a JSONL trace sink to one experiment cell's explorer
+// options when TraceDir is set. The returned close func flushes the file
+// and surfaces any write error; with TraceDir unset it is a no-op and the
+// options stay untouched (tracing disabled, zero overhead).
+func (o Options) cellTrace(opts *core.Options, cell string) (func() error, error) {
+	if o.TraceDir == "" {
+		return func() error { return nil }, nil
+	}
+	if err := os.MkdirAll(o.TraceDir, 0o755); err != nil {
+		return nil, fmt.Errorf("trace dir: %w", err)
+	}
+	f, err := os.Create(filepath.Join(o.TraceDir, cell+".trace.jsonl"))
+	if err != nil {
+		return nil, fmt.Errorf("trace file: %w", err)
+	}
+	sink := trace.NewWriter(f)
+	opts.Trace = sink
+	return func() error {
+		if err := sink.Err(); err != nil {
+			f.Close()
+			return fmt.Errorf("trace %s: %w", cell, err)
+		}
+		return f.Close()
+	}, nil
 }
 
 // medianInt returns the median without touching the caller's slice: cells

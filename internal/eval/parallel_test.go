@@ -5,6 +5,8 @@ package eval
 // them under -race to exercise the read-only Target contract).
 
 import (
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -54,6 +56,49 @@ func TestParallelSerialEquivalenceTable3(t *testing.T) {
 	// must already be byte-identical without masking.
 	if a.Render() != b.Render() {
 		t.Fatalf("table 3 differs between -j 1 and -j 8:\n--- serial ---\n%s\n--- parallel ---\n%s", a.Render(), b.Render())
+	}
+}
+
+// Per-cell traces carry only seed-determined data, so a serial and a
+// parallel run of the same grid must produce byte-identical trace files —
+// the in-repo version of the CI trace-determinism diff job.
+func TestTraceCaptureEquivalenceAcrossWorkers(t *testing.T) {
+	strategies := []core.Strategy{core.FullFeedback, core.CrashTuner}
+	serialDir := t.TempDir()
+	parDir := t.TempDir()
+	serial := Options{MaxRounds: 60, Workers: 1, NoTiming: true, TraceDir: serialDir}
+	par := Options{MaxRounds: 60, Workers: 8, NoTiming: true, TraceDir: parDir}
+
+	if _, err := Table2Efficacy(serial, strategies); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Table2Efficacy(par, strategies); err != nil {
+		t.Fatal(err)
+	}
+
+	serialFiles, err := filepath.Glob(filepath.Join(serialDir, "*.trace.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serialFiles) != 22*len(strategies) {
+		t.Fatalf("serial run wrote %d trace files, want %d", len(serialFiles), 22*len(strategies))
+	}
+	for _, sf := range serialFiles {
+		name := filepath.Base(sf)
+		want, err := os.ReadFile(sf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(parDir, name))
+		if err != nil {
+			t.Fatalf("parallel run missing trace %s: %v", name, err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("trace %s differs between -j 1 and -j 8", name)
+		}
+		if len(want) == 0 {
+			t.Errorf("trace %s is empty", name)
+		}
 	}
 }
 

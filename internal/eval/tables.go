@@ -13,11 +13,18 @@ import (
 // reproduceCells runs one core.Reproduce per (scenario, options) cell on
 // the worker pool. Each cell is a hermetic, seeded run against a shared
 // read-only Target, and parallel.Map returns results in input order, so
-// the assembled tables do not depend on the worker count.
-func reproduceCells(workers int, targets map[string]*core.Target,
+// the assembled tables do not depend on the worker count. label names the
+// calling experiment in per-cell trace files (Options.TraceDir).
+func reproduceCells(opt Options, label string, targets map[string]*core.Target,
 	scens []*failures.Scenario, optFor func(i int, s *failures.Scenario) core.Options) ([]*core.Report, error) {
-	return parallel.Map(workers, scens, func(i int, s *failures.Scenario) (*core.Report, error) {
-		return core.Reproduce(targets[s.ID], optFor(i, s)), nil
+	return parallel.Map(opt.Workers, scens, func(i int, s *failures.Scenario) (*core.Report, error) {
+		opts := optFor(i, s)
+		done, err := opt.cellTrace(&opts, fmt.Sprintf("%s-%s", label, s.ID))
+		if err != nil {
+			return nil, err
+		}
+		rep := core.Reproduce(targets[s.ID], opts)
+		return rep, done()
 	})
 }
 
@@ -48,7 +55,7 @@ func Table1FaultSites(opt Options) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		reps, err := reproduceCells(opt.Workers, targets, scens, func(int, *failures.Scenario) core.Options {
+		reps, err := reproduceCells(opt, "table1", targets, scens, func(int, *failures.Scenario) core.Options {
 			return core.Options{Strategy: core.FullFeedback, Seed: opt.Seed, MaxRounds: 1}
 		})
 		if err != nil {
@@ -110,9 +117,15 @@ func Table2Efficacy(opt Options, strategies []core.Strategy) (*Table, error) {
 		}
 	}
 	reps, err := parallel.Map(opt.Workers, cells, func(_ int, c cell) (*core.Report, error) {
-		return core.Reproduce(targets[scens[c.fi].ID], core.Options{
+		opts := core.Options{
 			Strategy: strategies[c.si], Seed: opt.Seed, MaxRounds: opt.MaxRounds,
-		}), nil
+		}
+		done, err := opt.cellTrace(&opts, fmt.Sprintf("table2-%s-%s", scens[c.fi].ID, strategies[c.si]))
+		if err != nil {
+			return nil, err
+		}
+		rep := core.Reproduce(targets[scens[c.fi].ID], opts)
+		return rep, done()
 	})
 	if err != nil {
 		return nil, err
@@ -204,7 +217,7 @@ func Table4Performance(opt Options) (*Table, error) {
 		Header: []string{"System", "Inject.Req", "Latency", "Round Init", "Workload"},
 	}
 	for _, sys := range systems {
-		reps, err := reproduceCells(opt.Workers, targets, failures.BySystem(sys), func(int, *failures.Scenario) core.Options {
+		reps, err := reproduceCells(opt, "table4", targets, failures.BySystem(sys), func(int, *failures.Scenario) core.Options {
 			return core.Options{Strategy: core.FullFeedback, Seed: opt.Seed, MaxRounds: opt.MaxRounds}
 		})
 		if err != nil {
@@ -242,7 +255,7 @@ func Table5Failures(opt Options) (*Table, error) {
 		Header: []string{"Failure", "Injected Fault", "ST rnd", "ST time", "Description"},
 	}
 	scens := failures.All()
-	reps, err := reproduceCells(opt.Workers, targets, scens, func(int, *failures.Scenario) core.Options {
+	reps, err := reproduceCells(opt, "table5", targets, scens, func(int, *failures.Scenario) core.Options {
 		return core.Options{Strategy: core.StackTrace, Seed: opt.Seed, MaxRounds: opt.MaxRounds}
 	})
 	if err != nil {
@@ -354,7 +367,7 @@ func Table8Runtime(opt Options) (*Table, error) {
 		Header: []string{"Failure", "Inject.Req", "Latency", "Round Init", "Workload", "FreeRun Lines"},
 	}
 	scens := failures.All()
-	reps, err := reproduceCells(opt.Workers, targets, scens, func(int, *failures.Scenario) core.Options {
+	reps, err := reproduceCells(opt, "table8", targets, scens, func(int, *failures.Scenario) core.Options {
 		return core.Options{Strategy: core.FullFeedback, Seed: opt.Seed, MaxRounds: opt.MaxRounds}
 	})
 	if err != nil {

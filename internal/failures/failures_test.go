@@ -101,3 +101,40 @@ func TestAnalyzeCached(t *testing.T) {
 		t.Fatal("analysis not cached")
 	}
 }
+
+// TestExecuteDeterministicPerSeed re-runs the ground-truth injection for
+// every scenario and demands byte-identical logs and event counts. Go
+// randomizes map iteration order per range statement, so any simulation
+// code path that lets map order pick between behaviors (which block a
+// monitor repairs first, which lease expires first, snapshot serialization
+// order) fails this within a handful of repeats — the bug class behind
+// nondeterministic f8 failure logs.
+func TestExecuteDeterministicPerSeed(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.ID, func(t *testing.T) {
+			t.Parallel() // cross-scenario concurrency must not leak either
+			free := cluster.Execute(FailureSeed, nil, true, s.Workload, s.Horizon)
+			inst, ok := s.FindRoot(free, FailureSeed)
+			if !ok {
+				t.Fatalf("ground truth not found")
+			}
+			base := cluster.Execute(FailureSeed, inject.Exact(inst), false, s.Workload, s.Horizon)
+			for rep := 0; rep < 3; rep++ {
+				r := cluster.Execute(FailureSeed, inject.Exact(inst), false, s.Workload, s.Horizon)
+				if r.Events != base.Events {
+					t.Fatalf("repeat %d: %d events vs %d", rep, r.Events, base.Events)
+				}
+				if len(r.Entries) != len(base.Entries) {
+					t.Fatalf("repeat %d: %d log entries vs %d", rep, len(r.Entries), len(base.Entries))
+				}
+				for j := range r.Entries {
+					if r.Entries[j] != base.Entries[j] {
+						t.Fatalf("repeat %d: log entry %d differs:\n got %+v\nwant %+v",
+							rep, j, r.Entries[j], base.Entries[j])
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,202 @@
+package inject
+
+// Fuzz targets for the plan invariants the explorer relies on:
+//
+//   - a plan never fires twice for the same (site, occ) in one run;
+//   - a run never injects more faults than the plan's budget;
+//   - Multi's budget equals the sum of its parts (nil parts contribute 0);
+//   - Decide is idempotent per occurrence for the pure plans (Exact,
+//     Window): consulting it repeatedly returns the same answer and does
+//     not disturb later decisions.
+//
+// Each FuzzX function doubles as a property test over its seed corpus
+// under plain `go test`; CI additionally runs each with -fuzz for a short
+// randomized budget.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// fuzzSite maps a byte onto a small site alphabet so reach sequences
+// collide with plan candidates often enough to be interesting.
+func fuzzSite(b byte) string { return fmt.Sprintf("s%d", b%6) }
+
+// fuzzOcc maps a byte onto a small 1-based occurrence range.
+func fuzzOcc(b byte) int { return int(b%8) + 1 }
+
+func FuzzExactPlan(f *testing.F) {
+	f.Add(byte(1), byte(2), []byte{1, 1, 1, 7, 1})
+	f.Add(byte(0), byte(0), []byte{})
+	f.Add(byte(5), byte(7), []byte{5, 5, 5, 5, 5, 5, 5, 5, 5})
+	f.Fuzz(func(t *testing.T, siteSel, occSel byte, reaches []byte) {
+		target := Instance{Site: fuzzSite(siteSel), Occurrence: fuzzOcc(occSel)}
+		plan := Exact(target)
+
+		// Decide is pure: repeated consultation of any (site, occ) agrees,
+		// and matches iff it names the exact instance.
+		for _, b := range reaches {
+			site, occ := fuzzSite(b), fuzzOcc(b>>3)
+			want := site == target.Site && occ == target.Occurrence
+			if plan.Decide(site, occ) != want || plan.Decide(site, occ) != want {
+				t.Fatalf("Exact.Decide(%s,%d) not idempotent or wrong (want %v)", site, occ, want)
+			}
+		}
+
+		r := NewRuntime(plan)
+		counts := map[string]int{}
+		injections := 0
+		for _, b := range reaches {
+			site := fuzzSite(b)
+			counts[site]++
+			if err := r.Reach(site, IO); err != nil {
+				injections++
+				fault, ok := AsFault(err)
+				if !ok || fault.Site != target.Site || fault.Occurrence != target.Occurrence {
+					t.Fatalf("injected %v, want %v", err, target)
+				}
+			}
+		}
+		want := 0
+		if counts[target.Site] >= target.Occurrence {
+			want = 1
+		}
+		if injections != want {
+			t.Fatalf("injections=%d, want %d (site reached %d times, target occ %d)",
+				injections, want, counts[target.Site], target.Occurrence)
+		}
+	})
+}
+
+func FuzzWindowPlan(f *testing.F) {
+	f.Add([]byte{1, 9, 17}, []byte{1, 2, 3, 1, 1})
+	f.Add([]byte{}, []byte{0, 0, 0})
+	f.Add([]byte{42, 42, 7}, []byte{42, 7, 42, 7})
+	f.Fuzz(func(t *testing.T, candBytes, reaches []byte) {
+		cands := make([]Instance, 0, len(candBytes))
+		inWindow := map[Instance]bool{}
+		for _, b := range candBytes {
+			inst := Instance{Site: fuzzSite(b), Occurrence: fuzzOcc(b >> 3)}
+			cands = append(cands, inst)
+			inWindow[inst] = true
+		}
+		plan := Window(cands)
+
+		// Decide is pure and matches exactly the candidate set.
+		for _, b := range reaches {
+			site, occ := fuzzSite(b), fuzzOcc(b>>3)
+			want := inWindow[Instance{Site: site, Occurrence: occ}]
+			if plan.Decide(site, occ) != want || plan.Decide(site, occ) != want {
+				t.Fatalf("Window.Decide(%s,%d) not idempotent or wrong (want %v)", site, occ, want)
+			}
+		}
+
+		// Through the runtime: the first reach hitting the window fires,
+		// nothing after it (budget 1), never twice for one (site, occ).
+		r := NewRuntime(plan)
+		counts := map[string]int{}
+		var fired []Instance
+		expectFired := false
+		for _, b := range reaches {
+			site := fuzzSite(b)
+			counts[site]++
+			hit := inWindow[Instance{Site: site, Occurrence: counts[site]}]
+			err := r.Reach(site, IO)
+			if err != nil {
+				fired = append(fired, Instance{Site: site, Occurrence: counts[site]})
+				if !hit {
+					t.Fatalf("injected at %s#%d which is not in the window", site, counts[site])
+				}
+				if expectFired {
+					t.Fatal("second injection after the budget was spent")
+				}
+			} else if hit && !expectFired {
+				t.Fatalf("first window hit %s#%d did not inject", site, counts[site])
+			}
+			expectFired = expectFired || hit
+		}
+		if len(fired) > 1 {
+			t.Fatalf("window fired %d times, budget is 1", len(fired))
+		}
+		if len(r.InjectedAll()) != len(fired) {
+			t.Fatalf("runtime recorded %d injections, saw %d faults", len(r.InjectedAll()), len(fired))
+		}
+	})
+}
+
+func FuzzMultiPlan(f *testing.F) {
+	f.Add([]byte{1, 9, 100}, []byte{1, 2, 3, 1, 4, 5, 1})
+	f.Add([]byte{0}, []byte{0, 0, 0, 0})
+	f.Add([]byte{3, 3, 3, 80, 81, 82}, []byte{3, 3, 3, 3, 0, 1, 2})
+	f.Fuzz(func(t *testing.T, spec, reaches []byte) {
+		if len(spec) > 32 || len(reaches) > 512 {
+			t.Skip("keep the search space small")
+		}
+		// Build a plan tree from spec: bytes become Exact leaves, Window
+		// leaves, or nil parts; a long spec nests the second half in an
+		// inner Multi to exercise recursive budget summing.
+		build := func(bytes []byte) ([]Plan, int) {
+			plans := make([]Plan, 0, len(bytes))
+			budget := 0
+			for _, b := range bytes {
+				switch b % 3 {
+				case 0:
+					plans = append(plans, Exact(Instance{Site: fuzzSite(b), Occurrence: fuzzOcc(b >> 3)}))
+					budget++
+				case 1:
+					plans = append(plans, Window([]Instance{
+						{Site: fuzzSite(b), Occurrence: fuzzOcc(b >> 3)},
+						{Site: fuzzSite(b >> 2), Occurrence: fuzzOcc(b >> 5)},
+					}))
+					budget++
+				default:
+					plans = append(plans, nil)
+				}
+			}
+			return plans, budget
+		}
+		var plan Plan
+		var wantBudget int
+		if len(spec) > 4 {
+			outer, ob := build(spec[:len(spec)/2])
+			inner, ib := build(spec[len(spec)/2:])
+			plan = Multi(append(outer, Multi(inner...))...)
+			wantBudget = ob + ib
+		} else {
+			plans, b := build(spec)
+			plan = Multi(plans...)
+			wantBudget = b
+		}
+
+		if got := plan.(Budgeter).Budget(); got != wantBudget {
+			t.Fatalf("Multi budget=%d, want sum of parts %d", got, wantBudget)
+		}
+
+		r := NewRuntime(plan)
+		counts := map[string]int{}
+		seen := map[Instance]bool{}
+		for _, b := range reaches {
+			site := fuzzSite(b)
+			counts[site]++
+			if err := r.Reach(site, IO); err != nil {
+				inst := Instance{Site: site, Occurrence: counts[site]}
+				if seen[inst] {
+					t.Fatalf("plan fired twice for %s#%d", inst.Site, inst.Occurrence)
+				}
+				seen[inst] = true
+			}
+		}
+		if n := len(r.InjectedAll()); n > wantBudget {
+			t.Fatalf("injected %d faults, budget %d", n, wantBudget)
+		}
+		// Every recorded injection is a distinct (site, occ).
+		unique := map[Instance]bool{}
+		for _, ev := range r.InjectedAll() {
+			inst := Instance{Site: ev.Site, Occurrence: ev.Occurrence}
+			if unique[inst] {
+				t.Fatalf("runtime recorded %s#%d twice", ev.Site, ev.Occurrence)
+			}
+			unique[inst] = true
+		}
+	})
+}

@@ -135,34 +135,63 @@ type Budgeter interface {
 	Budget() int
 }
 
-// multiPlan composes plans: each sub-plan may fire once, so a round can
-// carry several causally-independent faults.
+// multiPlan composes plans: each sub-plan may fire up to its own budget,
+// so a round can carry several causally-independent faults.
 type multiPlan struct {
-	plans []Plan
-	fired []bool
+	plans   []Plan
+	fired   []int
+	budgets []int
 }
 
-// Multi composes the given plans into one plan with an injection budget of
-// len(plans). Each sub-plan injects at most once.
+// planBudget is a plan's injection budget: a Budgeter's declared budget,
+// 1 for any other non-nil plan, 0 for nil (never injects).
+func planBudget(p Plan) int {
+	if p == nil {
+		return 0
+	}
+	if b, ok := p.(Budgeter); ok {
+		return b.Budget()
+	}
+	return 1
+}
+
+// Multi composes the given plans into one plan whose injection budget is
+// the sum of the sub-plans' budgets (1 each for plain plans, recursively
+// summed for nested Multi plans). Each sub-plan injects at most its own
+// budget.
 func Multi(plans ...Plan) Plan {
-	return &multiPlan{plans: plans, fired: make([]bool, len(plans))}
+	p := &multiPlan{
+		plans:   plans,
+		fired:   make([]int, len(plans)),
+		budgets: make([]int, len(plans)),
+	}
+	for i, sub := range plans {
+		p.budgets[i] = planBudget(sub)
+	}
+	return p
 }
 
 func (p *multiPlan) Decide(site string, occ int) bool {
 	for i, sub := range p.plans {
-		if p.fired[i] || sub == nil {
+		if sub == nil || p.fired[i] >= p.budgets[i] {
 			continue
 		}
 		if sub.Decide(site, occ) {
-			p.fired[i] = true
+			p.fired[i]++
 			return true
 		}
 	}
 	return false
 }
 
-// Budget implements Budgeter.
-func (p *multiPlan) Budget() int { return len(p.plans) }
+// Budget implements Budgeter: the sum of the sub-plans' budgets.
+func (p *multiPlan) Budget() int {
+	total := 0
+	for _, b := range p.budgets {
+		total += b
+	}
+	return total
+}
 
 // Runtime is the per-run injection state. The harness wires LogPos, Thread
 // and Now to the run's logger and simulation before the workload starts.
@@ -261,8 +290,17 @@ func (r *Runtime) Injected() (TraceEvent, bool) {
 // only under a Multi plan).
 func (r *Runtime) InjectedAll() []TraceEvent { return r.injected }
 
-// Counts returns per-site dynamic occurrence counts for the run.
-func (r *Runtime) Counts() map[string]int { return r.counts }
+// Counts returns a copy of the per-site dynamic occurrence counts for the
+// run. The copy is the caller's to keep: mutating it does not disturb the
+// runtime's internal numbering, so subsequent Reach/Decide calls keep
+// counting from the true occurrence.
+func (r *Runtime) Counts() map[string]int {
+	out := make(map[string]int, len(r.counts))
+	for site, n := range r.counts {
+		out[site] = n
+	}
+	return out
+}
 
 // Kind reports the fault kind a site declared when reached.
 func (r *Runtime) Kind(site string) (Kind, bool) {

@@ -199,8 +199,10 @@ func TestExactPlanProperty(t *testing.T) {
 }
 
 func TestMultiPlanBudgetAndNilSubplans(t *testing.T) {
+	// A nil sub-plan never injects, so it contributes 0 to the budget: the
+	// budget is the sum of the parts that can actually fire.
 	plan := Multi(nil, Exact(Instance{Site: "a", Occurrence: 1}))
-	if b, ok := plan.(Budgeter); !ok || b.Budget() != 2 {
+	if b, ok := plan.(Budgeter); !ok || b.Budget() != 1 {
 		t.Fatalf("budget: %v", plan)
 	}
 	r := NewRuntime(plan)
@@ -235,6 +237,53 @@ func TestWindowEmptyNeverInjects(t *testing.T) {
 		if r.Reach("s", IO) != nil {
 			t.Fatal("empty window injected")
 		}
+	}
+}
+
+// Counts hands back a copy: mutating it must not corrupt the runtime's
+// occurrence numbering or subsequent plan decisions.
+func TestCountsReturnsCopy(t *testing.T) {
+	r := NewRuntime(Exact(Instance{Site: "s", Occurrence: 3}))
+	if err := r.Reach("s", IO); err != nil {
+		t.Fatalf("occ 1 injected: %v", err)
+	}
+	c := r.Counts()
+	c["s"] = 100
+	c["phantom"] = 7
+	delete(c, "s")
+	if err := r.Reach("s", IO); err != nil {
+		t.Fatalf("occ 2 injected after Counts mutation: %v", err)
+	}
+	if err := r.Reach("s", IO); err == nil {
+		t.Fatal("occ 3 should inject; Counts mutation corrupted the numbering")
+	}
+	fresh := r.Counts()
+	if fresh["s"] != 3 {
+		t.Fatalf("counts[s]=%d, want 3", fresh["s"])
+	}
+	if _, ok := fresh["phantom"]; ok {
+		t.Fatal("mutation of the returned map leaked into the runtime")
+	}
+}
+
+func TestMultiPlanNestedBudgetSums(t *testing.T) {
+	inner := Multi(
+		Exact(Instance{Site: "a", Occurrence: 1}),
+		Exact(Instance{Site: "b", Occurrence: 1}),
+	)
+	outer := Multi(inner, Exact(Instance{Site: "c", Occurrence: 1}))
+	if b := outer.(Budgeter).Budget(); b != 3 {
+		t.Fatalf("nested budget=%d, want 3 (sum of parts)", b)
+	}
+	// Every leaf may fire once: the nested Multi is not capped at one.
+	r := NewRuntime(outer)
+	for _, site := range []string{"a", "b", "c"} {
+		if err := r.Reach(site, IO); err == nil {
+			t.Fatalf("%s#1 should inject", site)
+		}
+	}
+	if n := len(r.InjectedAll()); n != 3 {
+		t.Fatalf("injected %d faults, want 3", n)
 	}
 }
 

@@ -2,6 +2,7 @@ package dfs
 
 import (
 	"fmt"
+	"sort"
 
 	"anduril/internal/cluster"
 	"anduril/internal/des"
@@ -116,7 +117,16 @@ func (n *NameNode) onBlockReport(m simnet.Message, _ func(interface{}, error)) {
 // redundancy monitor.
 func (n *NameNode) checkReplication() {
 	env := n.env()
-	for block, locs := range n.blockLocs {
+	// Iterate blocks in sorted order: ranging over the map directly would
+	// let Go's randomized iteration pick which under-replicated block the
+	// sweep repairs, breaking run-to-run determinism for a fixed seed.
+	blocks := make([]int64, 0, len(n.blockLocs))
+	for b := range n.blockLocs {
+		blocks = append(blocks, b)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	for _, block := range blocks {
+		locs := n.blockLocs[block]
 		if len(locs) == 0 || len(locs) >= 3 {
 			continue
 		}
@@ -304,7 +314,15 @@ func (n *NameNode) reportReplica(block int64, dn string) {
 // and is never recovered again.
 func (n *NameNode) checkLeases() {
 	env := n.env()
-	for _, f := range n.files {
+	// Sorted paths, not map order: the order leases are recovered in
+	// schedules RPCs and therefore must be deterministic per seed.
+	paths := make([]string, 0, len(n.files))
+	for p := range n.files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		f := n.files[p]
 		if !f.open || f.leaseHolder == "" || n.recovering[f.path] {
 			continue
 		}

@@ -2,6 +2,7 @@ package mq
 
 import (
 	"fmt"
+	"sort"
 
 	"anduril/internal/cluster"
 	"anduril/internal/des"
@@ -78,13 +79,22 @@ func (g *GroupCoordinator) onHeartbeat(m simnet.Message, respond func(interface{
 func (g *GroupCoordinator) expireMembers() {
 	env := g.env
 	now := env.Sim.Now()
+	// Evict in sorted member order: when several members expire in one
+	// sweep, the eviction (and rebalance) order must not depend on map
+	// iteration order.
+	var expired []string
 	for member, last := range g.members {
 		if now-last > 400*des.Millisecond {
-			delete(g.members, member)
-			env.Log.Warnf("Group %s member %s expired after %dms without heartbeat",
-				g.group, member, (now-last)/des.Millisecond)
-			g.rebalance("member " + member + " expired")
+			expired = append(expired, member)
 		}
+	}
+	sort.Strings(expired)
+	for _, member := range expired {
+		last := g.members[member]
+		delete(g.members, member)
+		env.Log.Warnf("Group %s member %s expired after %dms without heartbeat",
+			g.group, member, (now-last)/des.Millisecond)
+		g.rebalance("member " + member + " expired")
 	}
 }
 

@@ -2,6 +2,7 @@ package zk
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
@@ -50,8 +51,15 @@ func (s *Server) takeSnapshot() error {
 		return fmt.Errorf("cannot write snapshot header: %w", err)
 	}
 	var body strings.Builder
-	for p, v := range s.data {
-		fmt.Fprintf(&body, "N|%s|%s\n", p, v)
+	// Serialize in sorted path order so snapshot bytes are a pure function
+	// of the datatree, not of map iteration order.
+	paths := make([]string, 0, len(s.data))
+	for p := range s.data {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		fmt.Fprintf(&body, "N|%s|%s\n", p, s.data[p])
 	}
 	if err := env.Disk.Append("zk.snap.write-body", path, []byte(body.String())); err != nil {
 		return fmt.Errorf("cannot serialize datatree: %w", err)

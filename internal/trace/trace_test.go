@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleEvents() []Event {
+	return []Event{
+		{Type: FreeRun, Target: "f3", Strategy: "full-feedback", Seed: 1, LogLines: 120,
+			Observables: []string{"elec: connection manager died"},
+			Sites:       []SiteCount{{Site: "zk.elect.send", Instances: 12}}},
+		{Type: RoundStart, Round: 1, Window: 10, RootRank: 2,
+			Top: []SiteRank{{Site: "zk.elect.send", F: 3, BestObs: "elec: x", Tried: 0}}},
+		{Type: Decision, Round: 1, Window: 10, CandidateCount: 4, Budget: 1,
+			Candidates: []Candidate{{Site: "zk.elect.send", Occ: 2}}},
+		{Type: Injected, Round: 1, Site: "zk.elect.send", Occ: 2, Satisfied: false},
+		{Type: Feedback, Round: 1, Missing: 1,
+			Bumped: []ObsPriority{{Obs: "elec: x", Priority: 1}},
+			Deltas: []SiteDelta{{Site: "zk.elect.send", Before: 3, After: 4}}},
+		{Type: RoundStart, Round: 2, Window: 10},
+		{Type: Decision, Round: 2, Window: 10, CandidateCount: 3, Budget: 1},
+		{Type: WindowGrow, Round: 2, From: 10, To: 12, Clamped: true},
+		{Type: Outcome, Reproduced: true, Rounds: 2, Reason: ReasonReproduced,
+			Site: "zk.elect.send", Occ: 5, ScriptSeed: 3},
+	}
+}
+
+// A written stream must read back identically: the JSONL encoding is the
+// interchange format of the golden tests and cmd/trace.
+func TestWriterReadAllRoundTrip(t *testing.T) {
+	events := sampleEvents()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := range events {
+		w.Emit(&events[i])
+	}
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != len(events) {
+		t.Fatalf("wrote %d lines, want %d", n, len(events))
+	}
+	got, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("read %d events, want %d", len(got), len(events))
+	}
+	for i := range events {
+		if Line(&got[i]) != Line(&events[i]) {
+			t.Fatalf("event %d round-trip mismatch:\n got %s\nwant %s", i, Line(&got[i]), Line(&events[i]))
+		}
+	}
+}
+
+// Infinite priorities (an unreachable site's F_i) must survive the JSON
+// encoding instead of failing it.
+func TestFloatInfinityRoundTrip(t *testing.T) {
+	ev := Event{Type: RoundStart, Round: 1, Window: 1, Top: []SiteRank{
+		{Site: "a", F: Float(math.Inf(1))},
+		{Site: "b", F: 2.5},
+	}}
+	line := Line(&ev)
+	if !strings.Contains(line, `"+inf"`) {
+		t.Fatalf("infinity not encoded: %s", line)
+	}
+	got, err := ReadAll(strings.NewReader(line + "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(float64(got[0].Top[0].F), 1) {
+		t.Fatalf("infinity not decoded: %v", got[0].Top[0].F)
+	}
+	if got[0].Top[1].F != 2.5 {
+		t.Fatalf("finite value mangled: %v", got[0].Top[1].F)
+	}
+}
+
+func TestMemoryStats(t *testing.T) {
+	m := &Memory{}
+	events := sampleEvents()
+	for i := range events {
+		m.Emit(&events[i])
+	}
+	s := m.Stats()
+	if s.Rounds != 2 || s.Injections != 1 || s.EmptyRound != 1 || !s.Reproduced {
+		t.Fatalf("stats: %+v", s)
+	}
+	if s.WindowSizes[10] != 2 {
+		t.Fatalf("window histogram: %v", s.WindowSizes)
+	}
+	if s.DecisionSz[4] != 1 || s.DecisionSz[3] != 1 {
+		t.Fatalf("decision histogram: %v", s.DecisionSz)
+	}
+	if s.SiteTrials["zk.elect.send"] != 1 {
+		t.Fatalf("site trials: %v", s.SiteTrials)
+	}
+	if s.Events[Outcome] != 1 || s.Events[RoundStart] != 2 {
+		t.Fatalf("event counts: %v", s.Events)
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := sampleEvents()
+	b := sampleEvents()
+	if d := Diff(a, b, 0); len(d) != 0 {
+		t.Fatalf("identical streams diff: %v", d)
+	}
+	b[3].Occ = 99
+	d := Diff(a, b, 0)
+	if len(d) != 1 || !strings.Contains(d[0], "event 4") {
+		t.Fatalf("diff: %v", d)
+	}
+	// Length mismatch surfaces as added/removed events.
+	d = Diff(a, b[:2], 0)
+	if len(d) == 0 || !strings.Contains(d[len(d)-1], "- ") {
+		t.Fatalf("truncated diff: %v", d)
+	}
+	// maxDiffs caps the report.
+	b2 := sampleEvents()
+	for i := range b2 {
+		b2[i].Round += 100
+	}
+	if d := Diff(a, b2, 3); len(d) != 3 {
+		t.Fatalf("maxDiffs not honored: %d", len(d))
+	}
+}
+
+func TestReadAllSkipsBlankAndRejectsGarbage(t *testing.T) {
+	got, err := ReadAll(strings.NewReader("\n" + Line(&Event{Type: Outcome}) + "\n\n"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("blank lines: got %d events, err %v", len(got), err)
+	}
+	if _, err := ReadAll(strings.NewReader("{not json\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
