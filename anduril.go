@@ -72,6 +72,27 @@ const (
 	Random            = core.Random
 )
 
+// Strategies lists every registered strategy in registration order (the
+// built-ins follow Table 2 column order).
+func Strategies() []Strategy { return core.Strategies() }
+
+// StrategyRegistered reports whether a strategy name is registered.
+func StrategyRegistered(name Strategy) bool { return core.StrategyRegistered(name) }
+
+// Explorer is a pluggable exploration strategy; see RegisterStrategy.
+type Explorer = core.Explorer
+
+// Search is the prepared search surface handed to an Explorer.
+type Search = core.Search
+
+// QueueFunc adapts a fixed-queue enumeration into an Explorer.
+type QueueFunc = core.QueueFunc
+
+// RegisterStrategy registers a custom Explorer under a new strategy name;
+// it then works everywhere a built-in strategy does (Options.Strategy, the
+// eval tables, the CLIs). Call it from an init function.
+func RegisterStrategy(name Strategy, impl Explorer) { core.RegisterStrategy(name, impl) }
+
 // Reproduce runs the explorer until the oracle is satisfied, the fault
 // space is exhausted, or the round cap is hit (workflow steps 1–5 of §3).
 func Reproduce(t *Target, opts Options) *Report {
@@ -149,7 +170,7 @@ func DatasetCatalog() []DatasetInfo {
 // parts. srcDirs are the Go source directories of the target system (for
 // the static causal graph); failureLog is the production log text.
 func NewTarget(id string, workload Workload, horizon des.Time, orc Oracle, failureLogText string, srcDirs []string) (*Target, error) {
-	an, err := analysis.AnalyzePackages(srcDirs)
+	an, err := analysis.AnalyzePackagesCached(srcDirs)
 	if err != nil {
 		return nil, err
 	}

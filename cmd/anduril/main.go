@@ -29,8 +29,9 @@ var out io.Writer = os.Stdout
 func main() {
 	var (
 		list      = flag.Bool("list", false, "list the dataset failures and exit")
+		listStrat = flag.Bool("list-strategies", false, "list the registered exploration strategies and exit")
 		failure   = flag.String("failure", "", "dataset failure to reproduce (f1..f22 or issue id)")
-		strategy  = flag.String("strategy", string(anduril.FullFeedback), "exploration strategy")
+		strategy  = flag.String("strategy", string(anduril.FullFeedback), "exploration strategy (see -list-strategies)")
 		seed      = flag.Int64("seed", 1, "master seed (round r runs with seed+r)")
 		maxRounds = flag.Int("max-rounds", 500, "round cap (the paper's 24-hour analog)")
 		window    = flag.Int("window", 10, "initial flexible-window size k")
@@ -50,9 +51,20 @@ func main() {
 		}
 		return
 	}
+	if *listStrat {
+		for _, s := range anduril.Strategies() {
+			fmt.Println(s)
+		}
+		return
+	}
 	if *failure == "" {
 		fmt.Fprintln(os.Stderr, "anduril: -failure or -list required")
 		flag.Usage()
+		os.Exit(2)
+	}
+	if !anduril.StrategyRegistered(anduril.Strategy(*strategy)) {
+		fmt.Fprintf(os.Stderr, "anduril: unknown strategy %q; valid strategies: %s\n",
+			*strategy, strategyNames())
 		os.Exit(2)
 	}
 
@@ -147,6 +159,17 @@ func main() {
 	if *scriptOut != "" {
 		writeScript(*scriptOut, func() (*core.ScriptFile, error) { return core.ScriptOf(report) })
 	}
+}
+
+func strategyNames() string {
+	names := ""
+	for i, s := range anduril.Strategies() {
+		if i > 0 {
+			names += ", "
+		}
+		names += string(s)
+	}
+	return names
 }
 
 func writeScript(path string, build func() (*core.ScriptFile, error)) {

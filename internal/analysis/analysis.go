@@ -26,6 +26,8 @@
 package analysis
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"go/ast"
 	"go/parser"
@@ -73,6 +75,11 @@ type Result struct {
 	LOC    int
 	Timing Timing
 
+	// SourceHash is a content hash over the analyzed source files; saved
+	// artifacts carry it so a load can detect stale analyses (see
+	// artifact.go).
+	SourceHash string
+
 	siteKinds map[string]inject.Kind
 }
 
@@ -93,6 +100,53 @@ func RepoRoot() string {
 	return filepath.Dir(filepath.Dir(filepath.Dir(file)))
 }
 
+// eachSourceFile visits every non-test Go file in the given directories
+// (relative to the repo root or absolute), in deterministic order: dirs as
+// given, files sorted by name within each. key is the dir argument joined
+// with the file name, so it is stable across machines for relative dirs.
+func eachSourceFile(dirs []string, fn func(key, path string, src []byte) error) error {
+	for _, dir := range dirs {
+		abs := dir
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(RepoRoot(), dir)
+		}
+		entries, err := os.ReadDir(abs)
+		if err != nil {
+			return fmt.Errorf("analysis: %w", err)
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || filepath.Ext(name) != ".go" || isTestFile(name) {
+				continue
+			}
+			path := filepath.Join(abs, name)
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return fmt.Errorf("analysis: %w", err)
+			}
+			if err := fn(filepath.ToSlash(filepath.Join(dir, name)), path, src); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// SourceHash returns the content hash over every source file the analyzer
+// would parse in dirs — the staleness key for saved artifacts.
+func SourceHash(dirs []string) (string, error) {
+	h := sha256.New()
+	err := eachSourceFile(dirs, func(key, _ string, src []byte) error {
+		fmt.Fprintf(h, "%s\n%d\n", key, len(src))
+		h.Write(src)
+		return nil
+	})
+	if err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
 // AnalyzePackages parses every non-test Go file in the given directories
 // (relative to the repo root or absolute) and builds the causal graph.
 func AnalyzePackages(dirs []string) (*Result, error) {
@@ -100,27 +154,20 @@ func AnalyzePackages(dirs []string) (*Result, error) {
 	fset := token.NewFileSet()
 	var files []*ast.File
 	loc := 0
-	for _, dir := range dirs {
-		if !filepath.IsAbs(dir) {
-			dir = filepath.Join(RepoRoot(), dir)
-		}
-		entries, err := os.ReadDir(dir)
+	hasher := sha256.New()
+	err := eachSourceFile(dirs, func(key, path string, src []byte) error {
+		fmt.Fprintf(hasher, "%s\n%d\n", key, len(src))
+		hasher.Write(src)
+		f, err := parser.ParseFile(fset, path, src, 0)
 		if err != nil {
-			return nil, fmt.Errorf("analysis: %w", err)
+			return fmt.Errorf("analysis: parse %s: %w", path, err)
 		}
-		for _, e := range entries {
-			name := e.Name()
-			if e.IsDir() || filepath.Ext(name) != ".go" || isTestFile(name) {
-				continue
-			}
-			path := filepath.Join(dir, name)
-			f, err := parser.ParseFile(fset, path, nil, 0)
-			if err != nil {
-				return nil, fmt.Errorf("analysis: parse %s: %w", path, err)
-			}
-			files = append(files, f)
-			loc += fset.File(f.Pos()).LineCount()
-		}
+		files = append(files, f)
+		loc += fset.File(f.Pos()).LineCount()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	a := newAnalyzer(fset)
@@ -144,11 +191,12 @@ func AnalyzePackages(dirs []string) (*Result, error) {
 	chaining := time.Since(chainStart)
 
 	res := &Result{
-		Graph:     g,
-		Sites:     a.siteList(),
-		Logs:      a.logList(),
-		LOC:       loc,
-		siteKinds: a.siteKinds,
+		Graph:      g,
+		Sites:      a.siteList(),
+		Logs:       a.logList(),
+		LOC:        loc,
+		SourceHash: hex.EncodeToString(hasher.Sum(nil)),
+		siteKinds:  a.siteKinds,
 	}
 	res.Timing = Timing{
 		Exception: exception,

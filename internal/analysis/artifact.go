@@ -1,0 +1,142 @@
+package analysis
+
+// Serializable analysis artifacts: a Result saved as versioned JSON, keyed
+// by a content hash of the analyzed sources. Static analysis is by far the
+// most expensive part of target construction (Table 7), and its output is
+// a pure function of the source files — so an artifact saved once can
+// stand in for re-analysis in every later run, and the embedded SourceHash
+// makes staleness detection exact rather than timestamp-guesswork.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"anduril/internal/graph"
+	"anduril/internal/inject"
+)
+
+// ArtifactVersion is the artifact schema version. Load rejects artifacts
+// written with a different version — bump it whenever Result's serialized
+// shape changes.
+const ArtifactVersion = 1
+
+// Artifact load failure modes, distinguishable with errors.Is.
+var (
+	ErrArtifactVersion = errors.New("analysis: artifact schema version mismatch")
+	ErrArtifactStale   = errors.New("analysis: artifact stale (source hash mismatch)")
+)
+
+// artifact is the JSON form of a Result. The graph flattens to sorted node
+// and edge lists; siteKinds is not stored because it is derivable from
+// Sites (the analyzer populates both from the same site records).
+type artifact struct {
+	Version    int          `json:"version"`
+	SourceHash string       `json:"source_hash"`
+	Nodes      []graph.Node `json:"nodes"`
+	Edges      [][2]string  `json:"edges"`
+	Sites      []SiteInfo   `json:"sites"`
+	Logs       []LogInfo    `json:"logs"`
+	LOC        int          `json:"loc"`
+	Timing     Timing       `json:"timing"`
+}
+
+// Save writes the Result as a versioned JSON artifact. The write is
+// atomic: a temp file in the destination directory renamed into place, so
+// concurrent readers never observe a torn artifact.
+func (r *Result) Save(path string) error {
+	art := artifact{
+		Version:    ArtifactVersion,
+		SourceHash: r.SourceHash,
+		Edges:      r.Graph.Edges(),
+		Sites:      r.Sites,
+		Logs:       r.Logs,
+		LOC:        r.LOC,
+		Timing:     r.Timing,
+	}
+	for _, n := range r.Graph.Nodes() {
+		art.Nodes = append(art.Nodes, *n)
+	}
+	data, err := json.MarshalIndent(&art, "", "\t")
+	if err != nil {
+		return fmt.Errorf("analysis: marshal artifact: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".artifact-*")
+	if err != nil {
+		return fmt.Errorf("analysis: save artifact: %w", err)
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("analysis: save artifact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("analysis: save artifact: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("analysis: save artifact: %w", err)
+	}
+	return nil
+}
+
+// Load reads a saved artifact and rebuilds the full Result, including the
+// causal graph and the site-kind index. It fails with ErrArtifactVersion
+// when the artifact was written under a different schema version.
+func Load(path string) (*Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: load artifact: %w", err)
+	}
+	var art artifact
+	if err := json.Unmarshal(data, &art); err != nil {
+		return nil, fmt.Errorf("analysis: load artifact %s: %w", path, err)
+	}
+	if art.Version != ArtifactVersion {
+		return nil, fmt.Errorf("%w: artifact %s has version %d, want %d",
+			ErrArtifactVersion, path, art.Version, ArtifactVersion)
+	}
+	g := graph.New()
+	for _, n := range art.Nodes {
+		g.AddNode(n)
+	}
+	for _, e := range art.Edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, fmt.Errorf("analysis: load artifact %s: %w", path, err)
+		}
+	}
+	res := &Result{
+		Graph:      g,
+		Sites:      art.Sites,
+		Logs:       art.Logs,
+		LOC:        art.LOC,
+		Timing:     art.Timing,
+		SourceHash: art.SourceHash,
+		siteKinds:  make(map[string]inject.Kind, len(art.Sites)),
+	}
+	for _, s := range art.Sites {
+		res.siteKinds[s.ID] = s.Kind
+	}
+	return res, nil
+}
+
+// LoadFor loads an artifact and validates it against the current sources
+// in dirs: a SourceHash mismatch returns ErrArtifactStale, so callers fall
+// back to a fresh AnalyzePackages instead of trusting an outdated graph.
+func LoadFor(path string, dirs []string) (*Result, error) {
+	res, err := Load(path)
+	if err != nil {
+		return nil, err
+	}
+	current, err := SourceHash(dirs)
+	if err != nil {
+		return nil, err
+	}
+	if res.SourceHash != current {
+		return nil, fmt.Errorf("%w: artifact %s", ErrArtifactStale, path)
+	}
+	return res, nil
+}

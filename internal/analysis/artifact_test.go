@@ -1,0 +1,194 @@
+package analysis
+
+// Round-trip and staleness tests for serialized analysis artifacts, plus
+// the disk-backed cache.
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestArtifactRoundTrip saves a real analysis and reloads it: the loaded
+// Result must be deep-equal in every serialized dimension, and the rebuilt
+// graph must reproduce the same distance table the explorer consumes.
+func TestArtifactRoundTrip(t *testing.T) {
+	res, err := AnalyzePackages([]string{"internal/sys/zk"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "zk.json")
+	if err := res.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.SourceHash != res.SourceHash || got.LOC != res.LOC {
+		t.Fatalf("scalars diverge: hash %q/%q loc %d/%d", got.SourceHash, res.SourceHash, got.LOC, res.LOC)
+	}
+	if !reflect.DeepEqual(got.Sites, res.Sites) {
+		t.Fatal("sites diverge after round trip")
+	}
+	if !reflect.DeepEqual(got.Logs, res.Logs) {
+		t.Fatal("logs diverge after round trip")
+	}
+	if got.Timing != res.Timing {
+		t.Fatalf("timing diverges: %+v vs %+v", got.Timing, res.Timing)
+	}
+	if !reflect.DeepEqual(got.siteKinds, res.siteKinds) {
+		t.Fatal("site kinds diverge after round trip")
+	}
+	if got.Graph.NumNodes() != res.Graph.NumNodes() || got.Graph.NumEdges() != res.Graph.NumEdges() {
+		t.Fatalf("graph size diverges: %d/%d nodes, %d/%d edges",
+			got.Graph.NumNodes(), res.Graph.NumNodes(), got.Graph.NumEdges(), res.Graph.NumEdges())
+	}
+	if !reflect.DeepEqual(got.Graph.Nodes(), res.Graph.Nodes()) {
+		t.Fatal("graph nodes diverge after round trip")
+	}
+	if !reflect.DeepEqual(got.Graph.Edges(), res.Graph.Edges()) {
+		t.Fatal("graph edges diverge after round trip")
+	}
+	// The consumer-facing contract: identical L_{i,k} distance tables.
+	if !reflect.DeepEqual(got.Graph.SiteDistances(), res.Graph.SiteDistances()) {
+		t.Fatal("site distances diverge after round trip")
+	}
+}
+
+// A stale artifact (source hash mismatch) must be rejected by LoadFor with
+// ErrArtifactStale, and a wrong schema version by Load with
+// ErrArtifactVersion.
+func TestArtifactStaleAndVersion(t *testing.T) {
+	dirs := []string{"internal/sys/toy"}
+	res, err := AnalyzePackages(dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "toy.json")
+
+	stale := *res
+	stale.SourceHash = "0000deadbeef"
+	if err := stale.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFor(path, dirs); !errors.Is(err, ErrArtifactStale) {
+		t.Fatalf("stale artifact: got %v, want ErrArtifactStale", err)
+	}
+
+	if err := res.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFor(path, dirs); err != nil {
+		t.Fatalf("fresh artifact rejected: %v", err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []byte(`{"version": 999}`)
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); !errors.Is(err, ErrArtifactVersion) {
+		t.Fatalf("version mismatch: got %v, want ErrArtifactVersion", err)
+	}
+	_ = data
+}
+
+// SourceHash must change when any analyzed file's content changes.
+func TestSourceHashTracksContent(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "x.go")
+	if err := os.WriteFile(file, []byte("package x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h1, err := SourceHash([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(file, []byte("package x // changed\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := SourceHash([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h2 {
+		t.Fatal("hash unchanged after source edit")
+	}
+	// Test files are invisible to the analyzer and so to the hash.
+	if err := os.WriteFile(filepath.Join(dir, "x_test.go"), []byte("package x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	h3, err := SourceHash([]string{dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 != h3 {
+		t.Fatal("hash changed after adding a test file")
+	}
+}
+
+// TestAnalyzePackagesCached exercises the disk cache end to end: first
+// call misses and populates, second call hits and returns an equivalent
+// result, and a source edit invalidates the artifact.
+func TestAnalyzePackagesCached(t *testing.T) {
+	srcDir := t.TempDir()
+	writeSrc := func(body string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(srcDir, "m.go"), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeSrc("package m\n\nfunc F() {}\n")
+	dirs := []string{srcDir}
+
+	t.Setenv(CacheEnvVar, t.TempDir())
+	h0, m0 := CacheCounters()
+
+	first, err := AnalyzePackagesCached(dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, m := CacheCounters(); h != h0 || m != m0+1 {
+		t.Fatalf("after cold call: hits %d misses %d (want %d, %d)", h, m, h0, m0+1)
+	}
+
+	second, err := AnalyzePackagesCached(dirs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h, m := CacheCounters(); h != h0+1 || m != m0+1 {
+		t.Fatalf("after warm call: hits %d misses %d (want %d, %d)", h, m, h0+1, m0+1)
+	}
+	if second.SourceHash != first.SourceHash || second.LOC != first.LOC ||
+		!reflect.DeepEqual(second.Sites, first.Sites) {
+		t.Fatal("cached result diverges from fresh analysis")
+	}
+
+	// Editing the source must invalidate the artifact: a new miss.
+	writeSrc("package m\n\nfunc F() {}\n\nfunc G() {}\n")
+	if _, err := AnalyzePackagesCached(dirs); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := CacheCounters(); h != h0+1 || m != m0+2 {
+		t.Fatalf("after stale call: hits %d misses %d (want %d, %d)", h, m, h0+1, m0+2)
+	}
+}
+
+// With the env var unset the cache is bypassed entirely.
+func TestAnalyzeCacheDisabledByDefault(t *testing.T) {
+	t.Setenv(CacheEnvVar, "")
+	h0, m0 := CacheCounters()
+	if _, err := AnalyzePackagesCached([]string{"internal/sys/toy"}); err != nil {
+		t.Fatal(err)
+	}
+	if h, m := CacheCounters(); h != h0 || m != m0 {
+		t.Fatal("cache counters moved while the cache was disabled")
+	}
+}

@@ -1,0 +1,60 @@
+package analysis
+
+// Disk-backed artifact cache. Off by default; setting the
+// ANDURIL_CACHE_DIR environment variable to a directory makes
+// AnalyzePackagesCached reuse saved artifacts across processes: a fresh
+// artifact for the same source set loads in place of re-analysis, and
+// misses (no artifact, stale hash, old schema) analyze and repopulate.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+)
+
+// CacheEnvVar names the environment variable holding the cache directory.
+const CacheEnvVar = "ANDURIL_CACHE_DIR"
+
+var cacheHits, cacheMisses atomic.Int64
+
+// CacheCounters reports disk-cache hits and misses since process start.
+// Both stay zero while the cache is disabled.
+func CacheCounters() (hits, misses int64) {
+	return cacheHits.Load(), cacheMisses.Load()
+}
+
+// AnalyzePackagesCached is AnalyzePackages behind the optional disk cache.
+// With ANDURIL_CACHE_DIR unset (the default) it analyzes directly; set, it
+// loads a fresh artifact for dirs from the cache directory, falling back
+// to analysis and saving the artifact on any miss. Cache write failures
+// are non-fatal: the analysis result is returned regardless.
+func AnalyzePackagesCached(dirs []string) (*Result, error) {
+	cacheDir := os.Getenv(CacheEnvVar)
+	if cacheDir == "" {
+		return AnalyzePackages(dirs)
+	}
+	path := filepath.Join(cacheDir, cacheFileName(dirs))
+	if res, err := LoadFor(path, dirs); err == nil {
+		cacheHits.Add(1)
+		return res, nil
+	}
+	cacheMisses.Add(1)
+	res, err := AnalyzePackages(dirs)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(cacheDir, 0o755); err == nil {
+		_ = res.Save(path)
+	}
+	return res, nil
+}
+
+// cacheFileName keys the artifact file by the analyzed directory set; the
+// SourceHash inside the artifact handles content staleness.
+func cacheFileName(dirs []string) string {
+	h := sha256.Sum256([]byte(strings.Join(dirs, "\x00")))
+	return "analysis-" + hex.EncodeToString(h[:8]) + ".json"
+}

@@ -47,12 +47,6 @@ const (
 	Random            Strategy = "random"
 )
 
-// Strategies lists every implemented strategy in Table 2 column order.
-var Strategies = []Strategy{
-	FullFeedback, Exhaustive, SiteDistance, SiteDistanceLimit,
-	SiteFeedback, MultiplyFeedback, FATE, CrashTuner, StackTrace, Random,
-}
-
 // Target is one failure to reproduce: the inputs of §2.
 //
 // A Target is read-only during Reproduce: the explorer only reads its
@@ -107,6 +101,12 @@ type Options struct {
 	TemporalByOrder bool // T by instance order instead of log-message count
 	FixedWindow     bool // never double the window on empty rounds
 	GlobalDiff      bool // diff logs globally instead of per thread
+
+	// NaiveRanking disables the incremental priority index and re-scores
+	// every site with a full re-sort each round — the paper's algorithm as
+	// literally written. Both rankers produce the identical (F_i, site id)
+	// order; this knob exists for the equivalence tests and benchmarks.
+	NaiveRanking bool
 
 	// Trace receives the structured event stream of the search: free-run
 	// setup, per-round ranked-site snapshots, injection decisions, feedback

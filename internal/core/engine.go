@@ -1,15 +1,11 @@
 package core
 
 import (
-	"math"
-	"sort"
 	"time"
 
-	"anduril/internal/analysis"
 	"anduril/internal/cluster"
 	"anduril/internal/inject"
 	"anduril/internal/logdiff"
-	"anduril/internal/logging"
 	"anduril/internal/trace"
 )
 
@@ -46,6 +42,12 @@ type siteState struct {
 // read-only — which every method here does: the engine only ever reads
 // t.FailureLog, t.Analysis, t.Oracle and t.Workload, and all derived
 // state (observables, site states, distance tables) lives on the engine.
+//
+// The search itself is split across phase files: setup.go (observable
+// extraction and candidate discovery), ranking.go (site priorities and the
+// incremental priority index), selection.go (instance selection and the
+// flexible window), feedback.go (the Algorithm 2 loop), and strategies.go
+// (the strategy registry and the enumerative baselines).
 type engine struct {
 	t *Target
 	o Options
@@ -92,6 +94,27 @@ func (e *engine) traceInjected(round int, inst inject.Instance, satisfied bool) 
 	})
 }
 
+// traceDecision records the candidate window handed to the runtime: the
+// first trace.MaxCandidates members, the full count, and the injection
+// budget (1 searched fault plus any baked ones).
+func (e *engine) traceDecision(round, window int, candidates []inject.Instance) {
+	if !e.tracing() {
+		return
+	}
+	list := candidates
+	if len(list) > trace.MaxCandidates {
+		list = list[:trace.MaxCandidates]
+	}
+	cs := make([]trace.Candidate, len(list))
+	for i, c := range list {
+		cs[i] = trace.Candidate{Site: c.Site, Occ: c.Occurrence}
+	}
+	e.emit(&trace.Event{
+		Type: trace.Decision, Round: round, Window: window,
+		Candidates: cs, CandidateCount: len(candidates), Budget: 1 + len(e.baked),
+	})
+}
+
 // bakedPlan returns the plan injecting the baked faults (nil when none).
 func (e *engine) bakedPlan(extra inject.Plan) inject.Plan {
 	if len(e.baked) == 0 {
@@ -117,7 +140,10 @@ func (e *engine) isBaked(ev inject.TraceEvent) bool {
 	return false
 }
 
-// run executes the whole workflow: free run, setup, then the strategy.
+// run executes the whole workflow: free run, setup, then the strategy
+// resolved from the registry. An unregistered strategy explores nothing
+// and reports the fault space exhausted after zero rounds (callers are
+// expected to validate names against Strategies() up front).
 func (e *engine) run() *Report {
 	start := time.Now()
 	freeStart := time.Now()
@@ -127,11 +153,8 @@ func (e *engine) run() *Report {
 
 	e.setup(free)
 
-	switch e.o.Strategy {
-	case FullFeedback, SiteDistance, SiteDistanceLimit, SiteFeedback, MultiplyFeedback:
-		e.feedbackLoop()
-	default:
-		e.enumerativeLoop(free)
+	if impl, ok := lookupStrategy(e.o.Strategy); ok {
+		impl.Explore(&Search{e: e, free: free})
 	}
 	e.report.Elapsed = time.Since(start)
 
@@ -159,244 +182,6 @@ func (e *engine) run() *Report {
 	return e.report
 }
 
-// flatten collapses thread names for the global-diff ablation.
-func (e *engine) flatten(entries []logging.Entry) []logging.Entry {
-	if !e.o.GlobalDiff {
-		return entries
-	}
-	out := make([]logging.Entry, len(entries))
-	for i, en := range entries {
-		en.Thread = "*"
-		out[i] = en
-	}
-	return out
-}
-
-// setup performs workflow steps 1-2: extract relevant observables, match
-// them to causal-graph templates, compute spatial distances and the
-// fault-instance timeline alignment.
-func (e *engine) setup(free *cluster.Result) {
-	cmp := logdiff.Compare(e.flatten(free.Entries), e.flatten(e.t.FailureLog))
-	e.align = logdiff.NewAlignment(cmp, len(free.Entries), len(e.t.FailureLog))
-
-	var templates []string
-	for _, l := range e.t.Analysis.Logs {
-		templates = append(templates, l.Template)
-	}
-	matcher := analysis.NewMatcher(templates)
-
-	for _, key := range cmp.MissingKeys() {
-		e.obs = append(e.obs, &observable{
-			key:       key,
-			positions: cmp.Missing[key],
-			templates: matcher.Match(key.Msg),
-		})
-	}
-	e.report.RelevantObservables = len(e.obs)
-
-	// Spatial distances L_{i,k} from the static causal graph.
-	e.dist = e.t.Analysis.Graph.SiteDistances()
-
-	// Candidate sites: causally connected to at least one relevant
-	// observable AND exercised by the workload (otherwise there is no
-	// instance to inject).
-	relevantTemplates := map[string]bool{}
-	for _, o := range e.obs {
-		for _, t := range o.templates {
-			relevantTemplates[t] = true
-		}
-	}
-	bySite := map[string][]instance{}
-	for _, ev := range free.Trace {
-		bySite[ev.Site] = append(bySite[ev.Site], instance{
-			occ:        ev.Occurrence,
-			logPos:     ev.LogPos,
-			alignedPos: e.align.Map(ev.LogPos),
-		})
-	}
-	total := 0
-	for siteID, dists := range e.dist {
-		reachesRelevant := false
-		for tmpl := range dists {
-			if relevantTemplates[tmpl] {
-				reachesRelevant = true
-				break
-			}
-		}
-		if !reachesRelevant {
-			continue
-		}
-		insts := bySite[siteID]
-		if len(insts) == 0 {
-			continue
-		}
-		e.sites = append(e.sites, &siteState{id: siteID, instances: insts, tried: make(map[int]bool)})
-		total += len(insts)
-	}
-	sort.Slice(e.sites, func(i, j int) bool { return e.sites[i].id < e.sites[j].id })
-	e.siteIndex = make(map[string]*siteState, len(e.sites))
-	for _, s := range e.sites {
-		e.siteIndex[s.id] = s
-	}
-	e.report.CandidateSites = len(e.sites)
-	e.report.CandidateInstances = total
-
-	// Baked faults are part of the workload now; never re-explore them.
-	for _, b := range e.baked {
-		e.markTried(b)
-	}
-
-	if e.tracing() {
-		obsLabels := make([]string, len(e.obs))
-		for i, o := range e.obs {
-			obsLabels[i] = obsLabel(o)
-		}
-		siteCounts := make([]trace.SiteCount, len(e.sites))
-		for i, s := range e.sites {
-			siteCounts[i] = trace.SiteCount{Site: s.id, Instances: len(s.instances)}
-		}
-		e.emit(&trace.Event{
-			Type: trace.FreeRun, Target: e.t.ID, Strategy: string(e.o.Strategy),
-			Seed: e.o.Seed, LogLines: len(free.Entries), Observables: obsLabels,
-			Sites: siteCounts,
-		})
-	}
-}
-
-// computePriorities evaluates F_i = min_k (L_{i,k} + I_k) for every site
-// (§5.2.4), with the distance and feedback terms toggled per strategy.
-func (e *engine) computePriorities(useDistance, useFeedback bool) {
-	e.sumBest = nil
-	for _, s := range e.sites {
-		s.f = math.Inf(1)
-		s.bestObs = -1
-		dists := e.dist[s.id]
-		for k, o := range e.obs {
-			l := math.Inf(1)
-			for _, tmpl := range o.templates {
-				if d, ok := dists[tmpl]; ok && float64(d) < l {
-					l = float64(d)
-				}
-			}
-			if math.IsInf(l, 1) {
-				continue
-			}
-			val := 0.0
-			if useDistance {
-				val += l
-			}
-			if useFeedback {
-				val += float64(o.priority)
-			}
-			if e.o.AggregateSum {
-				// Ablation: sum of partial priorities instead of min. The
-				// best observable is still the closest one.
-				if math.IsInf(s.f, 1) {
-					s.f = 0
-				}
-				s.f += val
-				if s.bestObs < 0 || val < e.bestVal(s) {
-					s.bestObs = k
-					e.setBestVal(s, val)
-				}
-				continue
-			}
-			if val < s.f {
-				s.f = val
-				s.bestObs = k
-			}
-		}
-	}
-}
-
-// bestVal bookkeeping for the sum-aggregation ablation: remembers the
-// smallest partial priority so bestObs stays the nearest observable.
-func (e *engine) bestVal(s *siteState) float64 {
-	if e.sumBest == nil {
-		e.sumBest = map[string]float64{}
-	}
-	v, ok := e.sumBest[s.id]
-	if !ok {
-		return math.Inf(1)
-	}
-	return v
-}
-
-func (e *engine) setBestVal(s *siteState, v float64) {
-	if e.sumBest == nil {
-		e.sumBest = map[string]float64{}
-	}
-	e.sumBest[s.id] = v
-}
-
-// temporalDistance computes T_{i,j,k} for an instance against the site's
-// chosen observable: the number of log messages between the instance's
-// aligned position and the observable on the failure timeline (§5.2.3).
-func (e *engine) temporalDistance(s *siteState, inst instance) float64 {
-	if s.bestObs < 0 {
-		return inst.alignedPos
-	}
-	best := math.Inf(1)
-	for _, p := range e.obs[s.bestObs].positions {
-		d := math.Abs(inst.alignedPos - float64(p))
-		if d < best {
-			best = d
-		}
-	}
-	return best
-}
-
-// bestUntried returns the site's highest-priority untried instance.
-func (e *engine) bestUntried(s *siteState, useTemporal bool, limit int) (instance, bool) {
-	bestScore := math.Inf(1)
-	var best instance
-	found := false
-	for i, inst := range s.instances {
-		if limit > 0 && i >= limit {
-			break
-		}
-		if s.tried[inst.occ] {
-			continue
-		}
-		score := float64(inst.occ)
-		if useTemporal {
-			score = e.temporalDistance(s, inst)
-		}
-		if score < bestScore {
-			bestScore = score
-			best = inst
-			found = true
-		}
-	}
-	return best, found
-}
-
-// rankedSites returns sites ordered by F ascending (name as tiebreak).
-func (e *engine) rankedSites() []*siteState {
-	out := make([]*siteState, len(e.sites))
-	copy(out, e.sites)
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].f != out[j].f {
-			return out[i].f < out[j].f
-		}
-		return out[i].id < out[j].id
-	})
-	return out
-}
-
-// rootRank finds the 1-based rank of the ground-truth site, for Figure 6.
-func (e *engine) rootRank(ranked []*siteState) int {
-	if e.t.RootSite == "" {
-		return 0
-	}
-	for i, s := range ranked {
-		if s.id == e.t.RootSite {
-			return i + 1
-		}
-	}
-	return 0
-}
-
 // executeRound runs the workload once with the given plan and records the
 // round bookkeeping. Returns the run result.
 func (e *engine) executeRound(round int, plan inject.Plan, initTime time.Duration, windowSize int, rootRank int) (*cluster.Result, *Round) {
@@ -422,277 +207,6 @@ func (e *engine) executeRound(round int, plan inject.Plan, initTime time.Duratio
 		break
 	}
 	return res, &rd
-}
-
-// feedbackLoop is the priority-driven exploration shared by ANDURIL and its
-// ablation variants.
-func (e *engine) feedbackLoop() {
-	useFeedback := e.o.Strategy == FullFeedback || e.o.Strategy == SiteFeedback || e.o.Strategy == MultiplyFeedback
-	useTemporal := (e.o.Strategy == FullFeedback || e.o.Strategy == MultiplyFeedback) && !e.o.TemporalByOrder
-	multiply := e.o.Strategy == MultiplyFeedback
-	limit := 0
-	if e.o.Strategy == SiteDistanceLimit || e.o.Strategy == SiteFeedback {
-		limit = e.o.InstanceLimit
-	}
-
-	window := e.o.Window
-	for round := 1; round <= e.o.MaxRounds; round++ {
-		initStart := time.Now()
-		e.computePriorities(true, useFeedback)
-		ranked := e.rankedSites()
-		rootRank := 0
-		if e.o.TrackRank {
-			rootRank = e.rootRank(ranked)
-		}
-
-		if e.tracing() {
-			rank := rootRank
-			if !e.o.TrackRank {
-				rank = e.rootRank(ranked)
-			}
-			top := ranked
-			if len(top) > trace.TopK {
-				top = top[:trace.TopK]
-			}
-			snap := make([]trace.SiteRank, len(top))
-			for i, s := range top {
-				sr := trace.SiteRank{Site: s.id, F: trace.Float(s.f), Tried: len(s.tried)}
-				if s.bestObs >= 0 {
-					sr.BestObs = obsLabel(e.obs[s.bestObs])
-				}
-				snap[i] = sr
-			}
-			e.emit(&trace.Event{
-				Type: trace.RoundStart, Round: round, Window: window,
-				RootRank: rank, Top: snap,
-			})
-		}
-
-		var candidates []inject.Instance
-		if multiply {
-			candidates = e.multiplyCandidates(ranked, window)
-		} else {
-			for _, s := range ranked {
-				if len(candidates) >= window {
-					break
-				}
-				if inst, ok := e.bestUntried(s, useTemporal, limit); ok {
-					candidates = append(candidates, inject.Instance{Site: s.id, Occurrence: inst.occ})
-				}
-			}
-		}
-		if len(candidates) == 0 {
-			return // fault space exhausted: cannot reproduce (step 5)
-		}
-		initTime := time.Since(initStart)
-		e.traceDecision(round, window, candidates)
-
-		res, rd := e.executeRound(round, inject.Window(candidates), initTime, window, rootRank)
-		if rd.Injected == nil {
-			// Nothing in the window occurred this round: widen it (§5.2.5).
-			grown := e.growWindow(window)
-			if e.tracing() {
-				e.emit(&trace.Event{
-					Type: trace.WindowGrow, Round: round, From: window, To: grown,
-					Clamped: !e.o.FixedWindow && grown < window*2,
-				})
-			}
-			window = grown
-			e.report.RoundLog = append(e.report.RoundLog, *rd)
-			e.report.Rounds = round
-			continue
-		}
-		e.markTried(*rd.Injected)
-
-		if e.t.Oracle.Satisfied(res) {
-			e.traceInjected(round, *rd.Injected, true)
-			rd.Satisfied = true
-			e.report.RoundLog = append(e.report.RoundLog, *rd)
-			e.report.Rounds = round
-			e.report.Reproduced = true
-			e.report.Script = rd.Injected
-			e.report.ScriptSeed = e.o.Seed + int64(round)
-			return
-		}
-
-		// Combined-log mitigation (§6): re-run the same injection under
-		// extra seeds; crucial observables missing only probabilistically
-		// then show up in at least one of the runs.
-		results := []*cluster.Result{res}
-		for extra := 1; extra < e.o.RunsPerRound; extra++ {
-			seed := e.o.Seed + int64(e.o.MaxRounds) + int64(round*e.o.RunsPerRound+extra)
-			res2 := cluster.Execute(seed, e.bakedPlan(inject.Exact(*rd.Injected)), false, e.t.Workload, e.t.Horizon)
-			if e.t.Oracle.Satisfied(res2) {
-				e.traceInjected(round, *rd.Injected, true)
-				rd.Satisfied = true
-				e.report.RoundLog = append(e.report.RoundLog, *rd)
-				e.report.Rounds = round
-				e.report.Reproduced = true
-				e.report.Script = rd.Injected
-				e.report.ScriptSeed = seed
-				return
-			}
-			results = append(results, res2)
-		}
-		e.traceInjected(round, *rd.Injected, false)
-
-		missing := e.missingIn(results)
-		missingCount := 0
-		var bumped []trace.ObsPriority
-		for i, still := range missing {
-			if still {
-				missingCount++
-			} else if useFeedback {
-				e.obs[i].priority += e.o.Adjust
-				if e.tracing() {
-					bumped = append(bumped, trace.ObsPriority{
-						Obs: obsLabel(e.obs[i]), Priority: e.obs[i].priority,
-					})
-				}
-			}
-		}
-		rd.MissingObs = missingCount
-		e.traceFeedback(round, missingCount, bumped, useFeedback)
-		if e.report.BestPartial == nil || missingCount < e.report.BestPartialMissing {
-			e.report.BestPartial = rd.Injected
-			e.report.BestPartialMissing = missingCount
-		}
-		e.report.RoundLog = append(e.report.RoundLog, *rd)
-		e.report.Rounds = round
-	}
-}
-
-// traceDecision records the candidate window handed to the runtime: the
-// first trace.MaxCandidates members, the full count, and the injection
-// budget (1 searched fault plus any baked ones).
-func (e *engine) traceDecision(round, window int, candidates []inject.Instance) {
-	if !e.tracing() {
-		return
-	}
-	list := candidates
-	if len(list) > trace.MaxCandidates {
-		list = list[:trace.MaxCandidates]
-	}
-	cs := make([]trace.Candidate, len(list))
-	for i, c := range list {
-		cs[i] = trace.Candidate{Site: c.Site, Occ: c.Occurrence}
-	}
-	e.emit(&trace.Event{
-		Type: trace.Decision, Round: round, Window: window,
-		Candidates: cs, CandidateCount: len(candidates), Budget: 1 + len(e.baked),
-	})
-}
-
-// traceFeedback records an Algorithm 2 update: the observables whose I_k
-// was adjusted and the resulting F_i deltas. The deltas need next round's
-// priorities; recomputing them here is idempotent (the next round's
-// computePriorities produces the same values) and only happens when a
-// sink is attached.
-func (e *engine) traceFeedback(round, missing int, bumped []trace.ObsPriority, useFeedback bool) {
-	if !e.tracing() {
-		return
-	}
-	ev := &trace.Event{Type: trace.Feedback, Round: round, Missing: missing, Bumped: bumped}
-	if useFeedback && len(bumped) > 0 {
-		before := make(map[string]float64, len(e.sites))
-		for _, s := range e.sites {
-			before[s.id] = s.f
-		}
-		e.computePriorities(true, useFeedback)
-		for _, s := range e.sites {
-			if s.f != before[s.id] {
-				ev.Deltas = append(ev.Deltas, trace.SiteDelta{
-					Site: s.id, Before: trace.Float(before[s.id]), After: trace.Float(s.f),
-				})
-			}
-		}
-	}
-	e.emit(ev)
-}
-
-// growWindow doubles the flexible window (§5.2.5), clamped to the total
-// candidate-instance count: a window wider than the whole fault space
-// selects nothing extra, and unclamped doubling overflows int after ~62
-// consecutive no-injection rounds — the window goes non-positive, the
-// candidate loop selects nothing, and the search falsely reports the
-// fault space exhausted.
-func (e *engine) growWindow(window int) int {
-	if e.o.FixedWindow {
-		return window
-	}
-	max := e.report.CandidateInstances
-	if max < 1 {
-		max = 1
-	}
-	if window >= max {
-		return max
-	}
-	window *= 2
-	if window > max || window <= 0 {
-		window = max
-	}
-	return window
-}
-
-// missingIn reports, per relevant observable, whether it is missing from
-// ALL of the given run logs (Algorithm 2's COMPARE over combined logs).
-func (e *engine) missingIn(results []*cluster.Result) []bool {
-	miss := make([]bool, len(e.obs))
-	for i := range miss {
-		miss[i] = true
-	}
-	for _, res := range results {
-		m := logdiff.Compare(e.flatten(res.Entries), e.flatten(e.t.FailureLog)).Missing
-		for i, o := range e.obs {
-			if _, still := m[o.key]; !still {
-				miss[i] = false
-			}
-		}
-	}
-	return miss
-}
-
-// multiplyCandidates ranks all untried (site, instance) pairs by the
-// product (F_i+1) x (T_{i,j}+1) — the §8.3 "multiply feedback" variant that
-// replaces the two-level selection.
-func (e *engine) multiplyCandidates(ranked []*siteState, window int) []inject.Instance {
-	type pair struct {
-		inst  inject.Instance
-		score float64
-	}
-	var pairs []pair
-	for _, s := range ranked {
-		if math.IsInf(s.f, 1) {
-			continue
-		}
-		for _, inst := range s.instances {
-			if s.tried[inst.occ] {
-				continue
-			}
-			t := e.temporalDistance(s, inst)
-			pairs = append(pairs, pair{
-				inst:  inject.Instance{Site: s.id, Occurrence: inst.occ},
-				score: (s.f + 1) * (t + 1),
-			})
-		}
-	}
-	sort.SliceStable(pairs, func(i, j int) bool {
-		if pairs[i].score != pairs[j].score {
-			return pairs[i].score < pairs[j].score
-		}
-		if pairs[i].inst.Site != pairs[j].inst.Site {
-			return pairs[i].inst.Site < pairs[j].inst.Site
-		}
-		return pairs[i].inst.Occurrence < pairs[j].inst.Occurrence
-	})
-	if len(pairs) > window {
-		pairs = pairs[:window]
-	}
-	out := make([]inject.Instance, len(pairs))
-	for i, p := range pairs {
-		out[i] = p.inst
-	}
-	return out
 }
 
 func (e *engine) markTried(inst inject.Instance) {

@@ -222,7 +222,7 @@ func TestFlexibleWindowOverflowClamped(t *testing.T) {
 	}
 	e.report.CandidateInstances = total // what setup would have counted
 
-	e.feedbackLoop()
+	e.feedbackLoop(feedbackSpec{})
 
 	if e.report.Reproduced {
 		t.Fatal("nothing should reproduce")

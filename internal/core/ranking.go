@@ -1,0 +1,249 @@
+package core
+
+// Site priorities F_i = min_k (L_{i,k} + I_k) (§5.2.4) and the ranking
+// over them. Two interchangeable rankers maintain the order:
+//
+//   - naiveRanker re-scores every site and fully re-sorts on each call —
+//     the paper's algorithm as literally written, kept behind
+//     Options.NaiveRanking for equivalence tests and benchmarks;
+//   - indexRanker is the incremental priority index: it tracks which
+//     sites are dirty (their F_i may have changed because a feedback
+//     update bumped an observable they reach) and on the next ranking
+//     re-scores only those, merging them back into the maintained order.
+//
+// Both produce the identical total order — (F_i, site id) ascending, with
+// unique ids making the order strict — so traces, root-rank trajectories
+// and golden files are byte-identical between them.
+
+import (
+	"math"
+	"sort"
+)
+
+// computePriorities evaluates F_i = min_k (L_{i,k} + I_k) for every site
+// (§5.2.4), with the distance and feedback terms toggled per strategy.
+func (e *engine) computePriorities(useDistance, useFeedback bool) {
+	e.sumBest = nil
+	for _, s := range e.sites {
+		e.rescoreSite(s, useDistance, useFeedback)
+	}
+}
+
+// rescoreSite recomputes one site's F_i and best observable from scratch.
+func (e *engine) rescoreSite(s *siteState, useDistance, useFeedback bool) {
+	if e.sumBest != nil {
+		delete(e.sumBest, s.id)
+	}
+	s.f = math.Inf(1)
+	s.bestObs = -1
+	dists := e.dist[s.id]
+	for k, o := range e.obs {
+		l := math.Inf(1)
+		for _, tmpl := range o.templates {
+			if d, ok := dists[tmpl]; ok && float64(d) < l {
+				l = float64(d)
+			}
+		}
+		if math.IsInf(l, 1) {
+			continue
+		}
+		val := 0.0
+		if useDistance {
+			val += l
+		}
+		if useFeedback {
+			val += float64(o.priority)
+		}
+		if e.o.AggregateSum {
+			// Ablation: sum of partial priorities instead of min. The
+			// best observable is still the closest one.
+			if math.IsInf(s.f, 1) {
+				s.f = 0
+			}
+			s.f += val
+			if s.bestObs < 0 || val < e.bestVal(s) {
+				s.bestObs = k
+				e.setBestVal(s, val)
+			}
+			continue
+		}
+		if val < s.f {
+			s.f = val
+			s.bestObs = k
+		}
+	}
+}
+
+// bestVal bookkeeping for the sum-aggregation ablation: remembers the
+// smallest partial priority so bestObs stays the nearest observable.
+func (e *engine) bestVal(s *siteState) float64 {
+	if e.sumBest == nil {
+		return math.Inf(1)
+	}
+	v, ok := e.sumBest[s.id]
+	if !ok {
+		return math.Inf(1)
+	}
+	return v
+}
+
+func (e *engine) setBestVal(s *siteState, v float64) {
+	if e.sumBest == nil {
+		e.sumBest = map[string]float64{}
+	}
+	e.sumBest[s.id] = v
+}
+
+// siteLess is the ranking order: F ascending, site id as tiebreak. Site
+// ids are unique, so this is a strict total order — any correct sort or
+// merge yields one identical ranking.
+func siteLess(a, b *siteState) bool {
+	if a.f != b.f {
+		return a.f < b.f
+	}
+	return a.id < b.id
+}
+
+// rankedSites returns sites ordered by F ascending (name as tiebreak).
+func (e *engine) rankedSites() []*siteState {
+	out := make([]*siteState, len(e.sites))
+	copy(out, e.sites)
+	sort.SliceStable(out, func(i, j int) bool { return siteLess(out[i], out[j]) })
+	return out
+}
+
+// rootRank finds the 1-based rank of the ground-truth site, for Figure 6.
+func (e *engine) rootRank(ranked []*siteState) int {
+	if e.t.RootSite == "" {
+		return 0
+	}
+	for i, s := range ranked {
+		if s.id == e.t.RootSite {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// ranker maintains the site ranking across feedback updates. ranked()
+// returns the sites in (F, id) order; the returned slice is read-only and
+// valid until the next observableBumped/ranked call. observableBumped
+// tells the ranker that observable k's priority I_k changed, so sites
+// reaching k must be re-scored before the next ranking.
+type ranker interface {
+	ranked() []*siteState
+	observableBumped(k int)
+}
+
+// newRanker picks the ranking implementation for this run.
+func (e *engine) newRanker(useFeedback bool) ranker {
+	if e.o.NaiveRanking {
+		return &naiveRanker{e: e, useFeedback: useFeedback}
+	}
+	return &indexRanker{e: e, useFeedback: useFeedback}
+}
+
+// naiveRanker recomputes every priority and re-sorts on every call.
+type naiveRanker struct {
+	e           *engine
+	useFeedback bool
+}
+
+func (r *naiveRanker) ranked() []*siteState {
+	r.e.computePriorities(true, r.useFeedback)
+	return r.e.rankedSites()
+}
+
+func (r *naiveRanker) observableBumped(int) {}
+
+// indexRanker is the incremental priority index. It builds the full
+// ranking once, plus a reverse index observable -> sites reaching it;
+// afterwards each feedback bump marks only the reaching sites dirty, and
+// the next ranked() call re-scores the dirty set and merges it back into
+// the sorted order: O(D log D + N) per updated round instead of the naive
+// O(N·K·T + N log N), and O(1) for rounds with no feedback change.
+type indexRanker struct {
+	e           *engine
+	useFeedback bool
+
+	obsSites [][]*siteState // k -> sites with a finite L_{i,k}
+	order    []*siteState   // current ranking, (F, id) ascending
+	dirty    []*siteState   // sites whose F may have changed
+	dirtySet map[*siteState]bool
+	built    bool
+}
+
+func (r *indexRanker) build() {
+	e := r.e
+	e.computePriorities(true, r.useFeedback)
+	r.order = e.rankedSites()
+	r.obsSites = make([][]*siteState, len(e.obs))
+	for _, s := range e.sites {
+		dists := e.dist[s.id]
+		for k, o := range e.obs {
+			for _, tmpl := range o.templates {
+				if _, ok := dists[tmpl]; ok {
+					r.obsSites[k] = append(r.obsSites[k], s)
+					break
+				}
+			}
+		}
+	}
+	r.dirtySet = make(map[*siteState]bool)
+	r.built = true
+}
+
+func (r *indexRanker) observableBumped(k int) {
+	if !r.built {
+		return // first ranked() builds everything from current priorities
+	}
+	for _, s := range r.obsSites[k] {
+		if !r.dirtySet[s] {
+			r.dirtySet[s] = true
+			r.dirty = append(r.dirty, s)
+		}
+	}
+}
+
+func (r *indexRanker) ranked() []*siteState {
+	if !r.built {
+		r.build()
+		return r.order
+	}
+	if len(r.dirty) == 0 {
+		return r.order
+	}
+	for _, s := range r.dirty {
+		r.e.rescoreSite(s, true, r.useFeedback)
+	}
+	keep := make([]*siteState, 0, len(r.order)-len(r.dirty))
+	for _, s := range r.order {
+		if !r.dirtySet[s] {
+			keep = append(keep, s)
+		}
+	}
+	sort.Slice(r.dirty, func(i, j int) bool { return siteLess(r.dirty[i], r.dirty[j]) })
+	r.order = mergeRanked(keep, r.dirty)
+	r.dirty = r.dirty[:0]
+	for s := range r.dirtySet {
+		delete(r.dirtySet, s)
+	}
+	return r.order
+}
+
+// mergeRanked merges two (F, id)-sorted site lists into one.
+func mergeRanked(a, b []*siteState) []*siteState {
+	out := make([]*siteState, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if siteLess(a[i], b[j]) {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}

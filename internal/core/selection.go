@@ -1,0 +1,121 @@
+package core
+
+// Fault-instance selection (§5.2.3-§5.2.5): temporal distances, per-site
+// best-untried choice, the multiply-feedback pair ranking, and the
+// flexible-window growth rule.
+
+import (
+	"math"
+	"sort"
+
+	"anduril/internal/inject"
+)
+
+// temporalDistance computes T_{i,j,k} for an instance against the site's
+// chosen observable: the number of log messages between the instance's
+// aligned position and the observable on the failure timeline (§5.2.3).
+func (e *engine) temporalDistance(s *siteState, inst instance) float64 {
+	if s.bestObs < 0 {
+		return inst.alignedPos
+	}
+	best := math.Inf(1)
+	for _, p := range e.obs[s.bestObs].positions {
+		d := math.Abs(inst.alignedPos - float64(p))
+		if d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// bestUntried returns the site's highest-priority untried instance.
+func (e *engine) bestUntried(s *siteState, useTemporal bool, limit int) (instance, bool) {
+	bestScore := math.Inf(1)
+	var best instance
+	found := false
+	for i, inst := range s.instances {
+		if limit > 0 && i >= limit {
+			break
+		}
+		if s.tried[inst.occ] {
+			continue
+		}
+		score := float64(inst.occ)
+		if useTemporal {
+			score = e.temporalDistance(s, inst)
+		}
+		if score < bestScore {
+			bestScore = score
+			best = inst
+			found = true
+		}
+	}
+	return best, found
+}
+
+// multiplyCandidates ranks all untried (site, instance) pairs by the
+// product (F_i+1) x (T_{i,j}+1) — the §8.3 "multiply feedback" variant that
+// replaces the two-level selection.
+func (e *engine) multiplyCandidates(ranked []*siteState, window int) []inject.Instance {
+	type pair struct {
+		inst  inject.Instance
+		score float64
+	}
+	var pairs []pair
+	for _, s := range ranked {
+		if math.IsInf(s.f, 1) {
+			continue
+		}
+		for _, inst := range s.instances {
+			if s.tried[inst.occ] {
+				continue
+			}
+			t := e.temporalDistance(s, inst)
+			pairs = append(pairs, pair{
+				inst:  inject.Instance{Site: s.id, Occurrence: inst.occ},
+				score: (s.f + 1) * (t + 1),
+			})
+		}
+	}
+	sort.SliceStable(pairs, func(i, j int) bool {
+		if pairs[i].score != pairs[j].score {
+			return pairs[i].score < pairs[j].score
+		}
+		if pairs[i].inst.Site != pairs[j].inst.Site {
+			return pairs[i].inst.Site < pairs[j].inst.Site
+		}
+		return pairs[i].inst.Occurrence < pairs[j].inst.Occurrence
+	})
+	if len(pairs) > window {
+		pairs = pairs[:window]
+	}
+	out := make([]inject.Instance, len(pairs))
+	for i, p := range pairs {
+		out[i] = p.inst
+	}
+	return out
+}
+
+// growWindow doubles the flexible window (§5.2.5), clamped to the total
+// candidate-instance count: a window wider than the whole fault space
+// selects nothing extra, and unclamped doubling overflows int after ~62
+// consecutive no-injection rounds — the window goes non-positive, the
+// candidate loop selects nothing, and the search falsely reports the
+// fault space exhausted.
+func (e *engine) growWindow(window int) int {
+	if e.o.FixedWindow {
+		return window
+	}
+	max := e.report.CandidateInstances
+	if max < 1 {
+		max = 1
+	}
+	if window >= max {
+		return max
+	}
+	window *= 2
+	if window > max || window <= 0 {
+		window = max
+	}
+	return window
+}

@@ -1,0 +1,118 @@
+package core
+
+// Workflow steps 1-2 (§3, §5.1): relevant-observable extraction, template
+// matching, spatial distances, and the fault-instance timeline alignment.
+
+import (
+	"sort"
+
+	"anduril/internal/analysis"
+	"anduril/internal/cluster"
+	"anduril/internal/logdiff"
+	"anduril/internal/logging"
+	"anduril/internal/trace"
+)
+
+// flatten collapses thread names for the global-diff ablation.
+func (e *engine) flatten(entries []logging.Entry) []logging.Entry {
+	if !e.o.GlobalDiff {
+		return entries
+	}
+	out := make([]logging.Entry, len(entries))
+	for i, en := range entries {
+		en.Thread = "*"
+		out[i] = en
+	}
+	return out
+}
+
+// setup performs workflow steps 1-2: extract relevant observables, match
+// them to causal-graph templates, compute spatial distances and the
+// fault-instance timeline alignment.
+func (e *engine) setup(free *cluster.Result) {
+	cmp := logdiff.Compare(e.flatten(free.Entries), e.flatten(e.t.FailureLog))
+	e.align = logdiff.NewAlignment(cmp, len(free.Entries), len(e.t.FailureLog))
+
+	var templates []string
+	for _, l := range e.t.Analysis.Logs {
+		templates = append(templates, l.Template)
+	}
+	matcher := analysis.NewMatcher(templates)
+
+	for _, key := range cmp.MissingKeys() {
+		e.obs = append(e.obs, &observable{
+			key:       key,
+			positions: cmp.Missing[key],
+			templates: matcher.Match(key.Msg),
+		})
+	}
+	e.report.RelevantObservables = len(e.obs)
+
+	// Spatial distances L_{i,k} from the static causal graph.
+	e.dist = e.t.Analysis.Graph.SiteDistances()
+
+	// Candidate sites: causally connected to at least one relevant
+	// observable AND exercised by the workload (otherwise there is no
+	// instance to inject).
+	relevantTemplates := map[string]bool{}
+	for _, o := range e.obs {
+		for _, t := range o.templates {
+			relevantTemplates[t] = true
+		}
+	}
+	bySite := map[string][]instance{}
+	for _, ev := range free.Trace {
+		bySite[ev.Site] = append(bySite[ev.Site], instance{
+			occ:        ev.Occurrence,
+			logPos:     ev.LogPos,
+			alignedPos: e.align.Map(ev.LogPos),
+		})
+	}
+	total := 0
+	for siteID, dists := range e.dist {
+		reachesRelevant := false
+		for tmpl := range dists {
+			if relevantTemplates[tmpl] {
+				reachesRelevant = true
+				break
+			}
+		}
+		if !reachesRelevant {
+			continue
+		}
+		insts := bySite[siteID]
+		if len(insts) == 0 {
+			continue
+		}
+		e.sites = append(e.sites, &siteState{id: siteID, instances: insts, tried: make(map[int]bool)})
+		total += len(insts)
+	}
+	sort.Slice(e.sites, func(i, j int) bool { return e.sites[i].id < e.sites[j].id })
+	e.siteIndex = make(map[string]*siteState, len(e.sites))
+	for _, s := range e.sites {
+		e.siteIndex[s.id] = s
+	}
+	e.report.CandidateSites = len(e.sites)
+	e.report.CandidateInstances = total
+
+	// Baked faults are part of the workload now; never re-explore them.
+	for _, b := range e.baked {
+		e.markTried(b)
+	}
+
+	if e.tracing() {
+		obsLabels := make([]string, len(e.obs))
+		for i, o := range e.obs {
+			obsLabels[i] = obsLabel(o)
+		}
+		siteCounts := make([]trace.SiteCount, len(e.sites))
+		for i, s := range e.sites {
+			siteCounts[i] = trace.SiteCount{Site: s.id, Instances: len(s.instances)}
+		}
+		e.emit(&trace.Event{
+			Type: trace.FreeRun, Target: e.t.ID, Strategy: string(e.o.Strategy),
+			Seed: e.o.Seed, LogLines: len(free.Entries), Observables: obsLabels,
+			Sites: siteCounts,
+		})
+	}
+}

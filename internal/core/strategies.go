@@ -1,31 +1,114 @@
 package core
 
+// The strategy registry. Every exploration algorithm — complete ANDURIL,
+// the §8.3 ablation variants, and the §8.4 comparison systems — is an
+// Explorer registered under its Strategy name; the engine dispatches
+// through the registry and never switches on the strategy itself. External
+// packages may register additional strategies with RegisterStrategy.
+
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 
-	"anduril/internal/cluster"
 	"anduril/internal/inject"
 )
 
-// enumerativeLoop drives the non-feedback strategies of §8.3/§8.4: each
-// round injects the next candidate from a strategy-specific enumeration.
-func (e *engine) enumerativeLoop(free *cluster.Result) {
-	var queue []inject.Instance
-	switch e.o.Strategy {
-	case Exhaustive:
-		queue = e.exhaustiveQueue()
-	case FATE:
-		queue = e.fateQueue(free)
-	case CrashTuner:
-		queue = e.crashTunerQueue(free)
-	case StackTrace:
-		queue = e.stackTraceQueue(free)
-	case Random:
-		queue = e.randomQueue(free)
-	}
+// Explorer is one exploration strategy. Explore drives the prepared search
+// to completion: it is handed the Search after the free run and setup, and
+// returns when the failure is reproduced, the fault space is exhausted, or
+// the round cap is hit.
+type Explorer interface {
+	Explore(s *Search)
+}
 
+// QueueFunc adapts an enumerative strategy — one that fixes its whole
+// injection queue up front — into an Explorer driven by the shared
+// single-injection round loop.
+type QueueFunc func(s *Search) []inject.Instance
+
+// Explore builds the queue and enumerates it.
+func (f QueueFunc) Explore(s *Search) { s.Enumerate(f(s)) }
+
+var (
+	registryMu    sync.RWMutex
+	registry      = map[Strategy]Explorer{}
+	registryOrder []Strategy
+)
+
+// RegisterStrategy registers an Explorer under a strategy name. It panics
+// on a duplicate or empty name — registration happens at init time, where
+// a bad registration is a programming error. Strategies() reports names in
+// registration order.
+func RegisterStrategy(name Strategy, impl Explorer) {
+	if name == "" {
+		panic("core: RegisterStrategy with empty strategy name")
+	}
+	if impl == nil {
+		panic("core: RegisterStrategy with nil Explorer")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("core: strategy %q registered twice", name))
+	}
+	registry[name] = impl
+	registryOrder = append(registryOrder, name)
+}
+
+// Strategies lists every registered strategy in registration order. The
+// built-ins register in Table 2 column order: FullFeedback first, then the
+// §8.3 ablations, then the §8.4 baselines.
+func Strategies() []Strategy {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]Strategy, len(registryOrder))
+	copy(out, registryOrder)
+	return out
+}
+
+// StrategyRegistered reports whether a strategy name is registered.
+func StrategyRegistered(name Strategy) bool {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	_, ok := registry[name]
+	return ok
+}
+
+func lookupStrategy(name Strategy) (Explorer, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	impl, ok := registry[name]
+	return impl, ok
+}
+
+// feedbackExplorer runs the Algorithm 2 loop at one feedbackSpec design
+// point. The five feedback-family strategies are five specs.
+type feedbackExplorer struct {
+	spec feedbackSpec
+}
+
+func (f feedbackExplorer) Explore(s *Search) { s.e.feedbackLoop(f.spec) }
+
+func init() {
+	// Table 2 column order.
+	RegisterStrategy(FullFeedback, feedbackExplorer{feedbackSpec{useFeedback: true, useTemporal: true}})
+	RegisterStrategy(Exhaustive, QueueFunc(exhaustiveQueue))
+	RegisterStrategy(SiteDistance, feedbackExplorer{feedbackSpec{}})
+	RegisterStrategy(SiteDistanceLimit, feedbackExplorer{feedbackSpec{limited: true}})
+	RegisterStrategy(SiteFeedback, feedbackExplorer{feedbackSpec{useFeedback: true, limited: true}})
+	RegisterStrategy(MultiplyFeedback, feedbackExplorer{feedbackSpec{useFeedback: true, useTemporal: true, multiply: true}})
+	RegisterStrategy(FATE, QueueFunc(fateQueue))
+	RegisterStrategy(CrashTuner, QueueFunc(crashTunerQueue))
+	RegisterStrategy(StackTrace, QueueFunc(stackTraceQueue))
+	RegisterStrategy(Random, QueueFunc(randomQueue))
+}
+
+// enumerativeLoop drives the non-feedback strategies of §8.3/§8.4: each
+// round injects the next candidate from a strategy-specific queue.
+func (e *engine) enumerativeLoop(queue []inject.Instance) {
 	for round := 1; round <= e.o.MaxRounds && round <= len(queue); round++ {
 		cand := queue[round-1]
 		e.traceDecision(round, 1, []inject.Instance{cand})
@@ -52,26 +135,20 @@ func (e *engine) enumerativeLoop(free *cluster.Result) {
 // deterministic order — the §8.3 "exhaustive fault instance" variant. It
 // still benefits from the causal graph (site pruning) but has no dynamic
 // prioritization.
-func (e *engine) exhaustiveQueue() []inject.Instance {
-	var out []inject.Instance
-	for _, s := range e.sites {
-		for _, inst := range s.instances {
-			out = append(out, inject.Instance{Site: s.id, Occurrence: inst.occ})
-		}
-	}
-	return out
+func exhaustiveQueue(s *Search) []inject.Instance {
+	return s.Candidates()
 }
 
 // fateQueue models FATE's failure-ID exploration: it has no causal graph,
 // so it covers every site exercised by the workload; failure IDs collapse
 // repeated occurrences, so it explores breadth-first across sites (first
 // occurrence of every site, then second of every site, ...).
-func (e *engine) fateQueue(free *cluster.Result) []inject.Instance {
-	counts := free.Counts
+func fateQueue(s *Search) []inject.Instance {
+	counts := s.FreeCounts()
 	siteIDs := make([]string, 0, len(counts))
 	maxOcc := 0
-	for s, c := range counts {
-		siteIDs = append(siteIDs, s)
+	for site, c := range counts {
+		siteIDs = append(siteIDs, site)
 		if c > maxOcc {
 			maxOcc = c
 		}
@@ -79,9 +156,9 @@ func (e *engine) fateQueue(free *cluster.Result) []inject.Instance {
 	sort.Strings(siteIDs)
 	var out []inject.Instance
 	for occ := 1; occ <= maxOcc; occ++ {
-		for _, s := range siteIDs {
-			if counts[s] >= occ {
-				out = append(out, inject.Instance{Site: s, Occurrence: occ})
+		for _, site := range siteIDs {
+			if counts[site] >= occ {
+				out = append(out, inject.Instance{Site: site, Occurrence: occ})
 			}
 		}
 	}
@@ -98,30 +175,30 @@ var metaInfoTokens = []string{
 // crashTunerQueue models CrashTuner: inject around meta-info access points
 // only — the first and last occurrences of each matching site (crash-
 // recovery windows), ordered by site.
-func (e *engine) crashTunerQueue(free *cluster.Result) []inject.Instance {
-	counts := free.Counts
+func crashTunerQueue(s *Search) []inject.Instance {
+	counts := s.FreeCounts()
 	siteIDs := make([]string, 0, len(counts))
-	for s := range counts {
+	for site := range counts {
 		for _, tok := range metaInfoTokens {
-			if strings.Contains(s, tok) {
-				siteIDs = append(siteIDs, s)
+			if strings.Contains(site, tok) {
+				siteIDs = append(siteIDs, site)
 				break
 			}
 		}
 	}
 	sort.Strings(siteIDs)
 	var out []inject.Instance
-	for _, s := range siteIDs {
-		out = append(out, inject.Instance{Site: s, Occurrence: 1})
+	for _, site := range siteIDs {
+		out = append(out, inject.Instance{Site: site, Occurrence: 1})
 	}
-	for _, s := range siteIDs {
-		if c := counts[s]; c > 1 {
-			out = append(out, inject.Instance{Site: s, Occurrence: c})
+	for _, site := range siteIDs {
+		if c := counts[site]; c > 1 {
+			out = append(out, inject.Instance{Site: site, Occurrence: c})
 		}
 	}
-	for _, s := range siteIDs {
-		if c := counts[s]; c > 2 {
-			out = append(out, inject.Instance{Site: s, Occurrence: 2})
+	for _, site := range siteIDs {
+		if c := counts[site]; c > 2 {
+			out = append(out, inject.Instance{Site: site, Occurrence: 2})
 		}
 	}
 	return out
@@ -131,10 +208,10 @@ func (e *engine) crashTunerQueue(free *cluster.Result) []inject.Instance {
 // fault sites named in the failure log's error messages (our fault errors
 // render as "Kind at site (occurrence n)", the analog of a logged stack
 // trace) and injects only at those, every occurrence in order.
-func (e *engine) stackTraceQueue(free *cluster.Result) []inject.Instance {
-	counts := free.Counts
+func stackTraceQueue(s *Search) []inject.Instance {
+	counts := s.FreeCounts()
 	mentioned := map[string]bool{}
-	for _, entry := range e.t.FailureLog {
+	for _, entry := range s.FailureLog() {
 		for site := range counts {
 			if strings.Contains(entry.Msg, site) {
 				mentioned[site] = true
@@ -142,23 +219,23 @@ func (e *engine) stackTraceQueue(free *cluster.Result) []inject.Instance {
 		}
 	}
 	siteIDs := make([]string, 0, len(mentioned))
-	for s := range mentioned {
-		siteIDs = append(siteIDs, s)
+	for site := range mentioned {
+		siteIDs = append(siteIDs, site)
 	}
 	sort.Strings(siteIDs)
 	var out []inject.Instance
 	// Interleave occurrences across the mentioned sites so one very hot
 	// site does not starve the others.
 	maxOcc := 0
-	for _, s := range siteIDs {
-		if counts[s] > maxOcc {
-			maxOcc = counts[s]
+	for _, site := range siteIDs {
+		if counts[site] > maxOcc {
+			maxOcc = counts[site]
 		}
 	}
 	for occ := 1; occ <= maxOcc; occ++ {
-		for _, s := range siteIDs {
-			if counts[s] >= occ {
-				out = append(out, inject.Instance{Site: s, Occurrence: occ})
+		for _, site := range siteIDs {
+			if counts[site] >= occ {
+				out = append(out, inject.Instance{Site: site, Occurrence: occ})
 			}
 		}
 	}
@@ -167,19 +244,20 @@ func (e *engine) stackTraceQueue(free *cluster.Result) []inject.Instance {
 
 // randomQueue models chaos-style random injection over the whole dynamic
 // fault space, without replacement.
-func (e *engine) randomQueue(free *cluster.Result) []inject.Instance {
+func randomQueue(s *Search) []inject.Instance {
+	counts := s.FreeCounts()
 	var all []inject.Instance
-	siteIDs := make([]string, 0, len(free.Counts))
-	for s := range free.Counts {
-		siteIDs = append(siteIDs, s)
+	siteIDs := make([]string, 0, len(counts))
+	for site := range counts {
+		siteIDs = append(siteIDs, site)
 	}
 	sort.Strings(siteIDs)
-	for _, s := range siteIDs {
-		for occ := 1; occ <= free.Counts[s]; occ++ {
-			all = append(all, inject.Instance{Site: s, Occurrence: occ})
+	for _, site := range siteIDs {
+		for occ := 1; occ <= counts[site]; occ++ {
+			all = append(all, inject.Instance{Site: site, Occurrence: occ})
 		}
 	}
-	rng := rand.New(rand.NewSource(e.o.Seed ^ 0x5eed))
+	rng := rand.New(rand.NewSource(s.Options().Seed ^ 0x5eed))
 	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
 	return all
 }

@@ -23,7 +23,7 @@ func stubEngineWithSites() *engine {
 
 func TestExhaustiveQueueOrder(t *testing.T) {
 	e := stubEngineWithSites()
-	q := e.exhaustiveQueue()
+	q := exhaustiveQueue(&Search{e: e})
 	// 6 sites x 3 instances, sites in sorted order, occurrences ascending.
 	if len(q) != 18 {
 		t.Fatalf("queue length: %d", len(q))
@@ -41,7 +41,7 @@ func TestExhaustiveQueueOrder(t *testing.T) {
 func TestFATEQueueBreadthFirst(t *testing.T) {
 	e := stubEngineWithSites()
 	free := stubFree(map[string]int{"a.x": 3, "b.y": 1, "c.z": 2})
-	q := e.fateQueue(free)
+	q := fateQueue(&Search{e: e, free: free})
 	// Pass 1: a.x#1 b.y#1 c.z#1; pass 2: a.x#2 c.z#2; pass 3: a.x#3.
 	want := []inject.Instance{
 		{Site: "a.x", Occurrence: 1}, {Site: "b.y", Occurrence: 1}, {Site: "c.z", Occurrence: 1},
@@ -65,7 +65,7 @@ func TestCrashTunerQueueFiltersMetaInfo(t *testing.T) {
 		"zk.data.write":      9,
 		"dfs.lease.renew":    2,
 	})
-	q := e.crashTunerQueue(free)
+	q := crashTunerQueue(&Search{e: e, free: free})
 	for _, inst := range q {
 		if inst.Site == "zk.data.write" {
 			t.Fatalf("non-meta-info site in queue: %v", q)
@@ -87,7 +87,7 @@ func TestStackTraceQueueUsesFailureLog(t *testing.T) {
 		{Thread: "w", Level: logging.Info, Msg: "unrelated message"},
 	}
 	free := stubFree(map[string]int{"a.hot": 3, "b.cold": 4})
-	q := e.stackTraceQueue(free)
+	q := stackTraceQueue(&Search{e: e, free: free})
 	if len(q) != 3 {
 		t.Fatalf("queue: %v", q)
 	}
@@ -104,7 +104,7 @@ func TestStackTraceQueueInterleavesSites(t *testing.T) {
 		{Thread: "w", Msg: "faults at a.one and b.two observed"},
 	}
 	free := stubFree(map[string]int{"a.one": 2, "b.two": 2})
-	q := e.stackTraceQueue(free)
+	q := stackTraceQueue(&Search{e: e, free: free})
 	// Occurrence-major interleave: a#1 b#1 a#2 b#2.
 	if len(q) != 4 || q[0].Occurrence != 1 || q[1].Occurrence != 1 || q[2].Occurrence != 2 {
 		t.Fatalf("queue: %v", q)
@@ -114,7 +114,7 @@ func TestStackTraceQueueInterleavesSites(t *testing.T) {
 func TestRandomQueueIsPermutation(t *testing.T) {
 	e := stubEngineWithSites()
 	free := stubFree(map[string]int{"a.x": 2, "b.y": 3})
-	q := e.randomQueue(free)
+	q := randomQueue(&Search{e: e, free: free})
 	if len(q) != 5 {
 		t.Fatalf("queue: %v", q)
 	}
@@ -126,7 +126,7 @@ func TestRandomQueueIsPermutation(t *testing.T) {
 		seen[inst] = true
 	}
 	// Deterministic given the seed.
-	q2 := e.randomQueue(free)
+	q2 := randomQueue(&Search{e: e, free: free})
 	for i := range q {
 		if q[i] != q2[i] {
 			t.Fatal("random queue not seed-deterministic")

@@ -77,12 +77,10 @@ func Table1FaultSites(opt Options) (*Table, error) {
 	return t, nil
 }
 
-// Table2Strategies is the strategy column order of Table 2.
-var Table2Strategies = []core.Strategy{
-	core.FullFeedback, core.Exhaustive, core.SiteDistance, core.SiteDistanceLimit,
-	core.SiteFeedback, core.MultiplyFeedback, core.FATE, core.CrashTuner,
-	core.StackTrace, core.Random,
-}
+// Table2Strategies is the strategy column order of Table 2: the registry's
+// registration order (built-ins register in Table 2 column order, and any
+// externally registered strategy appends as an extra column).
+func Table2Strategies() []core.Strategy { return core.Strategies() }
 
 // Table2Efficacy reproduces Table 2: rounds and wall time per failure for
 // ANDURIL, its ablation variants, and the comparison systems. "-" means the
@@ -91,7 +89,7 @@ var Table2Strategies = []core.Strategy{
 func Table2Efficacy(opt Options, strategies []core.Strategy) (*Table, error) {
 	opt = opt.withDefaults()
 	if strategies == nil {
-		strategies = Table2Strategies
+		strategies = Table2Strategies()
 	}
 	targets, err := buildTargets(opt.Workers)
 	if err != nil {

@@ -80,7 +80,7 @@ func (s *Scenario) Analyze() (*analysis.Result, error) {
 	}
 	analysisMu.Unlock()
 	e.once.Do(func() {
-		e.res, e.err = analysis.AnalyzePackages(s.SrcDirs)
+		e.res, e.err = analysis.AnalyzePackagesCached(s.SrcDirs)
 	})
 	return e.res, e.err
 }

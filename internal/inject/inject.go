@@ -13,6 +13,20 @@
 //
 // Faults are Go errors rather than thrown exceptions; the Kind mirrors the
 // exception types of Table 5 (IOException, SocketException, ...).
+//
+// # Stable site-ID contract
+//
+// The site ID passed to Reach is a constant string literal and is the
+// site's identity everywhere: the static analyzer extracts the same
+// literal from the source (the causal graph's fault-site nodes carry it),
+// the explorer keys its priority tables, trace events, and injection
+// plans by it, and serialized analysis artifacts persist it across
+// processes. Site IDs must therefore be unique within a target system and
+// stable across runs and recompilations — renaming one invalidates saved
+// artifacts, reproduction scripts, and golden traces that mention it. By
+// convention an ID is a dotted path "<system>.<component>.<operation>"
+// (e.g. "dfs.datanode.receiveBlock.write"), lowercase, never computed at
+// runtime.
 package inject
 
 import (
