@@ -99,6 +99,15 @@ func Reproduce(t *Target, opts Options) *Report {
 	return core.Reproduce(t, opts)
 }
 
+// Resume continues an interrupted search from a checkpoint file written
+// by a previous run with Options.Checkpoint set. The target, strategy and
+// seed must match the checkpointed run; the resumed search then produces
+// the same report (and continues the same trace stream) as an
+// uninterrupted run.
+func Resume(t *Target, opts Options, path string) (*Report, error) {
+	return core.Resume(t, opts, path)
+}
+
 // Verify deterministically replays a reproduction script and reports
 // whether the oracle is satisfied.
 func Verify(t *Target, script Instance, seed int64) bool {

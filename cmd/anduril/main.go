@@ -8,6 +8,12 @@
 //	anduril -failure f17 [-strategy full-feedback] [-seed 1] [-max-rounds 500] [-window 10] [-adjust 1] [-v]
 //	anduril -failure f3 -trace run.trace.jsonl     # structured JSONL trace of the search
 //	anduril -failure f3 -trace - | trace -stats -  # '-' streams the trace to stdout
+//	anduril -failure f3 -checkpoint ck.json        # checkpoint the search every 10 rounds
+//	anduril -failure f3 -checkpoint ck.json -resume  # continue an interrupted search
+//
+// Exit codes: 0 = reproduced (or an informational command), 1 = internal
+// error, 2 = usage error, 3 = search exhausted without reproducing,
+// 4 = search interrupted (continue it with -resume).
 package main
 
 import (
@@ -26,6 +32,29 @@ import (
 // moves to stderr so `anduril -trace - | trace -` stays clean.
 var out io.Writer = os.Stdout
 
+// Exit codes. Distinct codes let scripts tell "the search ran and the
+// failure did not reproduce" (a result) from "the tool itself failed"
+// (a defect) from "the search was interrupted" (resumable).
+const (
+	exitOK            = 0
+	exitInternal      = 1
+	exitUsage         = 2
+	exitNotReproduced = 3
+	exitInterrupted   = 4
+)
+
+// fail prints an internal error and exits with exitInternal.
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "anduril: "+format+"\n", args...)
+	os.Exit(exitInternal)
+}
+
+// usageErr prints a usage error and exits with exitUsage.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "anduril: "+format+"\n", args...)
+	os.Exit(exitUsage)
+}
+
 func main() {
 	var (
 		list      = flag.Bool("list", false, "list the dataset failures and exit")
@@ -41,8 +70,34 @@ func main() {
 		scriptOut = flag.String("script-out", "", "write the reproduction script as JSON to this file")
 		dotOut    = flag.String("graph-dot", "", "write the static causal graph (Graphviz) to this file")
 		traceOut  = flag.String("trace", "", "write a JSONL explorer trace to this file ('-' = stdout, for piping into cmd/trace)")
+		ckptPath  = flag.String("checkpoint", "", "checkpoint the search state to this file (atomic writes)")
+		ckptEvery = flag.Int("checkpoint-every", 10, "checkpoint every N rounds (with -checkpoint)")
+		resume    = flag.Bool("resume", false, "resume an interrupted search from -checkpoint")
+		stopAfter = flag.Int("stop-after", 0, "interrupt the search after round N (exit 4; 0 = run to completion)")
 	)
 	flag.Parse()
+
+	if *maxRounds <= 0 {
+		usageErr("-max-rounds must be a positive round cap (got %d)", *maxRounds)
+	}
+	if *window <= 0 {
+		usageErr("-window must be a positive initial window size (got %d)", *window)
+	}
+	if *adjust <= 0 {
+		usageErr("-adjust must be a positive priority adjustment (got %d)", *adjust)
+	}
+	if *ckptEvery <= 0 {
+		usageErr("-checkpoint-every must be a positive round interval (got %d)", *ckptEvery)
+	}
+	if *stopAfter < 0 {
+		usageErr("-stop-after must be a round number, or 0 to disable (got %d)", *stopAfter)
+	}
+	if *resume && *ckptPath == "" {
+		usageErr("-resume requires -checkpoint to name the checkpoint file")
+	}
+	if *iterative > 1 && (*ckptPath != "" || *resume) {
+		usageErr("-checkpoint/-resume are not supported with -iterative (each pass re-bakes the workload)")
+	}
 
 	if *list {
 		fmt.Printf("%-5s %-10s %-11s %s\n", "id", "issue", "system", "description")
@@ -76,8 +131,7 @@ func main() {
 		} else {
 			f, err := os.Create(*traceOut)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "anduril: %v\n", err)
-				os.Exit(1)
+				fail("%v", err)
 			}
 			defer f.Close()
 			w = f
@@ -92,16 +146,14 @@ func main() {
 
 	target, err := anduril.Dataset(*failure)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "anduril: %v\n", err)
-		os.Exit(1)
+		fail("%v", err)
 	}
 	fmt.Fprintf(out, "reproducing %s (%s) on %s: %s\n", target.ID, target.Issue, target.System, target.Description)
 
 	if *dotOut != "" {
 		dot := target.Analysis.Graph.DOT(target.ID, 400)
 		if err := os.WriteFile(*dotOut, []byte(dot), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "anduril: %v\n", err)
-			os.Exit(1)
+			fail("%v", err)
 		}
 		fmt.Fprintf(out, "causal graph written to %s (%d nodes, %d edges)\n",
 			*dotOut, target.Analysis.Graph.NumNodes(), target.Analysis.Graph.NumEdges())
@@ -110,6 +162,8 @@ func main() {
 	opts := anduril.Options{
 		Strategy: anduril.Strategy(*strategy), Seed: *seed,
 		MaxRounds: *maxRounds, Window: *window, Adjust: *adjust,
+		Checkpoint: *ckptPath, CheckpointEvery: *ckptEvery,
+		StopAfterRound: *stopAfter,
 	}
 	if sink != nil {
 		opts.Trace = sink
@@ -119,7 +173,7 @@ func main() {
 		iter := anduril.ReproduceIterative(target, opts, *iterative)
 		if !iter.Reproduced {
 			fmt.Fprintf(out, "NOT reproduced after %d passes\n", len(iter.Reports))
-			os.Exit(1)
+			os.Exit(exitNotReproduced)
 		}
 		fmt.Fprintf(out, "REPRODUCED with %d faults: %v\n", len(iter.Scripts), iter.Scripts)
 		if *scriptOut != "" {
@@ -129,7 +183,22 @@ func main() {
 	}
 
 	opts.TrackRank = true
-	report := anduril.Reproduce(target, opts)
+	var report *anduril.Report
+	if *resume {
+		report, err = anduril.Resume(target, opts, *ckptPath)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Fprintf(out, "resumed search from %s\n", *ckptPath)
+	} else {
+		report = anduril.Reproduce(target, opts)
+	}
+	if report.Error != "" {
+		fail("search failed: %s", report.Error)
+	}
+	if report.CheckpointError != "" {
+		fmt.Fprintf(os.Stderr, "anduril: warning: checkpointing stopped: %s\n", report.CheckpointError)
+	}
 
 	fmt.Fprintf(out, "free run: %d log lines, %d relevant observables, %d candidate sites, %d candidate instances\n",
 		report.FreeRunLogLines, report.RelevantObservables, report.CandidateSites, report.CandidateInstances)
@@ -144,9 +213,14 @@ func main() {
 		}
 	}
 
+	if report.Interrupted {
+		fmt.Fprintf(out, "INTERRUPTED after %d rounds (%.2fs); continue with -resume -checkpoint %s\n",
+			report.Rounds, report.Elapsed.Seconds(), *ckptPath)
+		os.Exit(exitInterrupted)
+	}
 	if !report.Reproduced {
 		fmt.Fprintf(out, "NOT reproduced after %d rounds (%.2fs)\n", report.Rounds, report.Elapsed.Seconds())
-		os.Exit(1)
+		os.Exit(exitNotReproduced)
 	}
 	fmt.Fprintf(out, "REPRODUCED in %d rounds (%.2fs)\n", report.Rounds, report.Elapsed.Seconds())
 	fmt.Fprintln(out, anduril.Script(report))
@@ -175,17 +249,14 @@ func strategyNames() string {
 func writeScript(path string, build func() (*core.ScriptFile, error)) {
 	script, err := build()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "anduril: %v\n", err)
-		os.Exit(1)
+		fail("%v", err)
 	}
 	data, err := script.Marshal()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "anduril: %v\n", err)
-		os.Exit(1)
+		fail("%v", err)
 	}
 	if err := os.WriteFile(path, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "anduril: %v\n", err)
-		os.Exit(1)
+		fail("%v", err)
 	}
 	fmt.Fprintf(out, "reproduction script written to %s\n", path)
 }

@@ -30,7 +30,7 @@ func main() {
 	var (
 		site    = flag.String("site", "", "only events touching this fault site (substring match)")
 		round   = flag.Int("round", 0, "only events of this round (free_run/outcome always shown)")
-		event   = flag.String("event", "", "only events of this type (free_run, round, decision, injected, window_grow, feedback, outcome)")
+		event   = flag.String("event", "", "only events of this type (free_run, round, decision, injected, window_grow, feedback, inconclusive, outcome)")
 		stats   = flag.Bool("stats", false, "print aggregate counters and histograms instead of events")
 		diff    = flag.Bool("diff", false, "compare two trace files event by event; exit 1 if they differ")
 		maxDiff = flag.Int("max-diffs", 10, "divergences to report in -diff mode")
@@ -203,6 +203,14 @@ func render(ev *trace.Event) string {
 		for _, d := range ev.Deltas {
 			fmt.Fprintf(&b, "\n  F[%s] %v -> %v", d.Site, float64(d.Before), float64(d.After))
 		}
+	case trace.Inconclusive:
+		fmt.Fprintf(&b, "round %3d: inconclusive — %s", ev.Round, ev.Class)
+		if ev.Site != "" {
+			fmt.Fprintf(&b, " after injecting %s#%d", ev.Site, ev.Occ)
+		}
+		if ev.Detail != "" {
+			fmt.Fprintf(&b, " (%s)", clip(ev.Detail, 80))
+		}
 	case trace.Outcome:
 		fmt.Fprintf(&b, "outcome: reproduced=%v rounds=%d reason=%s", ev.Reproduced, ev.Rounds, ev.Reason)
 		if ev.Reproduced {
@@ -228,6 +236,7 @@ func printStats(s trace.Stats) {
 	fmt.Printf("rounds:            %d\n", s.Rounds)
 	fmt.Printf("injections:        %d\n", s.Injections)
 	fmt.Printf("empty rounds:      %d (window doubled)\n", s.EmptyRound)
+	fmt.Printf("inconclusive:      %d (trial failed after retry)\n", s.Inconclusive)
 	fmt.Printf("reproduced:        %v\n", s.Reproduced)
 	fmt.Printf("events by type:\n")
 	for _, k := range sortedKeys(s.Events) {

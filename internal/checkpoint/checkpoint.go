@@ -1,0 +1,100 @@
+// Package checkpoint reads and writes crash-safe state files. A checkpoint
+// is a versioned JSON envelope around an arbitrary payload:
+//
+//	{"kind":"explorer-search","version":1,"data":{...}}
+//
+// Save writes atomically — the payload goes to a temporary file in the
+// destination directory, is synced, and is renamed over the target — so a
+// process killed mid-write always leaves either the previous checkpoint or
+// the new one on disk, never a torn file. Load validates the envelope
+// (kind, version, payload presence) and returns an error for any malformed
+// input; it must never panic, whatever bytes it is handed (the package's
+// fuzz target enforces this).
+//
+// The explorer's search checkpoints (core.Options.Checkpoint) and the
+// evaluation grid's per-cell reports (eval.Options.ResumeDir) are both
+// stored in this envelope, each under its own kind.
+package checkpoint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Envelope is the on-disk frame around a checkpoint payload.
+type Envelope struct {
+	Kind    string          `json:"kind"`
+	Version int             `json:"version"`
+	Data    json.RawMessage `json:"data"`
+}
+
+// Save atomically writes data as a checkpoint of the given kind and
+// version. The write is crash-safe: a temporary file next to path receives
+// the full encoding first and is renamed over path only once synced, so a
+// kill at any instant leaves the previous checkpoint readable.
+func Save(path, kind string, version int, data any) error {
+	raw, err := json.Marshal(data)
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode %s payload: %w", kind, err)
+	}
+	env, err := json.Marshal(Envelope{Kind: kind, Version: version, Data: raw})
+	if err != nil {
+		return fmt.Errorf("checkpoint: encode %s envelope: %w", kind, err)
+	}
+	env = append(env, '\n')
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(env); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: write %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint: sync %s: %w", tmp.Name(), err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: close %s: %w", tmp.Name(), err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Load reads a checkpoint and returns its payload after validating the
+// envelope: the file must decode as JSON, carry the expected kind and
+// version, and contain a payload. Every failure mode — missing file,
+// truncation, corruption, kind or version skew — is an error; Load never
+// panics.
+func Load(path, kind string, version int) (json.RawMessage, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return Decode(raw, kind, version)
+}
+
+// Decode validates an in-memory envelope encoding; see Load.
+func Decode(raw []byte, kind string, version int) (json.RawMessage, error) {
+	var env Envelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return nil, fmt.Errorf("checkpoint: corrupt envelope: %w", err)
+	}
+	if env.Kind != kind {
+		return nil, fmt.Errorf("checkpoint: kind %q, want %q", env.Kind, kind)
+	}
+	if env.Version != version {
+		return nil, fmt.Errorf("checkpoint: version %d, want %d (regenerate the checkpoint)", env.Version, version)
+	}
+	if len(env.Data) == 0 || string(env.Data) == "null" {
+		return nil, fmt.Errorf("checkpoint: %s envelope has no payload", kind)
+	}
+	return env.Data, nil
+}

@@ -5,6 +5,8 @@
 package cluster
 
 import (
+	"context"
+	"fmt"
 	"strings"
 
 	"anduril/internal/des"
@@ -67,6 +69,65 @@ func Execute(seed int64, plan inject.Plan, keepTrace bool, w Workload, horizon d
 	env.FI.KeepTrace = keepTrace
 	w(env)
 	n := env.Sim.Run(horizon)
+	return snapshot(env, n, keepTrace)
+}
+
+// Failure classes a TrialError carries, in the order the harness checks
+// them: a panic out of the target system, a simulation that exhausted its
+// event budget (livelock watchdog), an oracle that panicked judging the
+// result, and an externally-cancelled run.
+const (
+	ClassPanic       = "panic"
+	ClassEventBudget = "event-budget"
+	ClassOracle      = "oracle"
+	ClassInterrupted = "interrupted"
+)
+
+// TrialError describes why a trial could not produce a judgeable result.
+// Class is one of the Class* constants; Detail is human-readable context
+// (the panic value, the budget size, ...).
+type TrialError struct {
+	Class  string
+	Detail string
+}
+
+func (e *TrialError) Error() string { return e.Class + ": " + e.Detail }
+
+// TryExecute is Execute hardened for untrusted target systems: a panic in
+// the workload or simulation is recovered into a *TrialError (class
+// "panic") instead of killing the process, eventBudget > 0 bounds the
+// number of DES events (class "event-budget" on exhaustion, so a
+// livelocked workload cannot hang a round), and a cancelled ctx interrupts
+// the simulation (class "interrupted"). On error the returned Result holds
+// whatever the environment had produced so far — enough for diagnostics,
+// not a judgeable round.
+func TryExecute(ctx context.Context, seed int64, plan inject.Plan, keepTrace bool, w Workload, horizon des.Time, eventBudget int) (res *Result, err error) {
+	env := NewEnv(seed, plan)
+	env.FI.KeepTrace = keepTrace
+	env.Sim.EventBudget = eventBudget
+	if ctx != nil {
+		env.Sim.Watch(ctx)
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			res = snapshot(env, 0, keepTrace)
+			err = &TrialError{Class: ClassPanic, Detail: fmt.Sprint(p)}
+		}
+	}()
+	w(env)
+	n := env.Sim.Run(horizon)
+	res = snapshot(env, n, keepTrace)
+	switch {
+	case env.Sim.Interrupted():
+		err = &TrialError{Class: ClassInterrupted, Detail: "run cancelled"}
+	case env.Sim.BudgetExhausted():
+		err = &TrialError{Class: ClassEventBudget, Detail: fmt.Sprintf("exceeded %d events", eventBudget)}
+	}
+	return res, err
+}
+
+// snapshot captures what a finished (or aborted) round produced.
+func snapshot(env *Env, n int, keepTrace bool) *Result {
 	res := &Result{
 		Env:     env,
 		Entries: env.Log.Entries(),

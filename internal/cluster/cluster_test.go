@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"anduril/internal/des"
@@ -112,5 +114,80 @@ func TestEnvWiring(t *testing.T) {
 	env.Log.Infof("x")
 	if env.FI.LogPos() != 1 {
 		t.Fatal("log pos not wired")
+	}
+}
+
+// panicWorkload logs, then panics from inside a simulated event.
+func panicWorkload(env *Env) {
+	env.Sim.Go("worker-1", func() {
+		env.Log.Infof("about to fail")
+		panic("toy implementation bug")
+	})
+}
+
+func TestTryExecuteRecoversPanic(t *testing.T) {
+	res, err := TryExecute(context.Background(), 1, nil, true, panicWorkload, des.Second, 0)
+	if err == nil {
+		t.Fatal("panic not surfaced as error")
+	}
+	var te *TrialError
+	if !errors.As(err, &te) || te.Class != ClassPanic {
+		t.Fatalf("err=%v, want TrialError class %q", err, ClassPanic)
+	}
+	if res == nil {
+		t.Fatal("no partial result returned")
+	}
+	if !res.LogContains("about to fail") {
+		t.Fatal("partial result lost the pre-panic log")
+	}
+}
+
+func TestTryExecuteEventBudget(t *testing.T) {
+	livelock := func(env *Env) {
+		var spin func()
+		spin = func() { env.Sim.Go("spinner", spin) }
+		env.Sim.Go("spinner", spin)
+	}
+	res, err := TryExecute(context.Background(), 1, nil, false, livelock, des.Second, 2000)
+	var te *TrialError
+	if !errors.As(err, &te) || te.Class != ClassEventBudget {
+		t.Fatalf("err=%v, want TrialError class %q", err, ClassEventBudget)
+	}
+	if res.Events != 2000 {
+		t.Fatalf("executed %d events, want the budget (2000)", res.Events)
+	}
+}
+
+func TestTryExecuteCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	livelock := func(env *Env) {
+		var spin func()
+		spin = func() { env.Sim.Go("spinner", spin) }
+		env.Sim.Go("spinner", spin)
+	}
+	_, err := TryExecute(ctx, 1, nil, false, livelock, des.Second, 0)
+	var te *TrialError
+	if !errors.As(err, &te) || te.Class != ClassInterrupted {
+		t.Fatalf("err=%v, want TrialError class %q", err, ClassInterrupted)
+	}
+}
+
+// TryExecute on a healthy workload matches Execute exactly.
+func TestTryExecuteMatchesExecute(t *testing.T) {
+	plan := inject.Exact(inject.Instance{Site: "toy.step", Occurrence: 2})
+	want := Execute(7, plan, true, toyWorkload, des.Second)
+	got, err := TryExecute(context.Background(), 7, plan, true, toyWorkload, des.Second, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RenderLog() != want.RenderLog() {
+		t.Fatal("TryExecute log differs from Execute")
+	}
+	if got.DidInject != want.DidInject || got.Injected != want.Injected {
+		t.Fatalf("injection differs: %+v vs %+v", got.Injected, want.Injected)
+	}
+	if got.Events != want.Events {
+		t.Fatalf("events %d vs %d", got.Events, want.Events)
 	}
 }

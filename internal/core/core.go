@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"sort"
 	"time"
 
@@ -108,6 +109,34 @@ type Options struct {
 	// order; this knob exists for the equivalence tests and benchmarks.
 	NaiveRanking bool
 
+	// Checkpoint, when non-empty, is a file path the engine atomically
+	// writes its search state to every CheckpointEvery rounds, so a killed
+	// search can continue via Resume. "" (the default) disables
+	// checkpointing at zero cost. Because per-round seeds derive from
+	// Seed+round, a resumed run is byte-identical — trace and final report —
+	// to the same run uninterrupted.
+	Checkpoint      string
+	CheckpointEvery int // rounds between checkpoint writes; default 10
+
+	// EventBudget caps the DES events of a single trial run. A livelocked
+	// target (a zero-delay self-scheduling loop) never advances virtual
+	// time, so the time horizon alone cannot stop it; the budget is the
+	// watchdog that bounds the round, degrading it to inconclusive.
+	// Default DefaultEventBudget; negative means unlimited.
+	EventBudget int
+
+	// Context, when non-nil, cancels the search from outside: the engine
+	// checks it between rounds and the DES kernel polls it inside runs.
+	// A cancelled search returns with Report.Interrupted set and emits no
+	// trace outcome, so its trace stays a resumable prefix.
+	Context context.Context
+
+	// StopAfterRound, when positive, interrupts the search after recording
+	// that many rounds, exactly as an external kill at a round boundary
+	// would — the deterministic "kill switch" behind the resume-equivalence
+	// tests and `anduril -stop-after`.
+	StopAfterRound int
+
 	// Trace receives the structured event stream of the search: free-run
 	// setup, per-round ranked-site snapshots, injection decisions, feedback
 	// deltas and the terminal outcome. Events carry only seed-determined
@@ -136,8 +165,19 @@ func (o Options) withDefaults() Options {
 	if o.RunsPerRound <= 0 {
 		o.RunsPerRound = 1
 	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 10
+	}
+	if o.EventBudget == 0 {
+		o.EventBudget = DefaultEventBudget
+	}
 	return o
 }
+
+// DefaultEventBudget is the per-trial DES event cap. The dataset's free
+// runs execute under ~2k events, so a million-event trial is a livelock,
+// not a slow run.
+const DefaultEventBudget = 1 << 20
 
 // Round records one injection round.
 type Round struct {
@@ -151,6 +191,14 @@ type Round struct {
 	RunTime    time.Duration // wall time of the workload run
 	InjectReqs int           // injection requests the runtime received
 	DecideTime time.Duration // total plan-decision latency in the run
+
+	// Inconclusive marks a round whose trial could not be judged even
+	// after one retry under the next derived seed; Failure carries the
+	// class (cluster.ClassPanic, ClassEventBudget, ClassOracle). The round
+	// contributed no feedback, but its injected instance (if any) counts
+	// as tried so the search moves on.
+	Inconclusive bool
+	Failure      string `json:",omitempty"`
 }
 
 // Report is the outcome of a reproduction attempt.
@@ -176,6 +224,24 @@ type Report struct {
 	// fails, this is the §3 hint for iterative multi-fault reproduction.
 	BestPartial        *inject.Instance
 	BestPartialMissing int
+
+	// Interrupted is set when the search stopped early — Options.Context
+	// cancelled or Options.StopAfterRound reached — instead of finishing.
+	// An interrupted report is not a verdict: resume from the checkpoint
+	// to continue the search.
+	Interrupted bool `json:",omitempty"`
+
+	// InconclusiveRounds counts rounds degraded by trial isolation (see
+	// Round.Inconclusive).
+	InconclusiveRounds int `json:",omitempty"`
+
+	// Error is set when the search could not start at all: the free run
+	// failed twice (e.g. the target panics without any injection).
+	Error string `json:",omitempty"`
+
+	// CheckpointError records the first failed checkpoint write, if any.
+	// Checkpointing is best-effort: a write failure never stops the search.
+	CheckpointError string `json:",omitempty"`
 }
 
 // MedianInitTime returns the median per-round initialization time.

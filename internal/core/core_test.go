@@ -7,7 +7,7 @@ import (
 	"anduril/internal/failures"
 )
 
-func target(t *testing.T, id string) *core.Target {
+func target(t testing.TB, id string) *core.Target {
 	t.Helper()
 	s, ok := failures.ByID(id)
 	if !ok {

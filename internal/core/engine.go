@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"time"
 
 	"anduril/internal/cluster"
@@ -64,14 +67,32 @@ type engine struct {
 	// multi-fault reproduction); the search explores candidates on top.
 	baked []inject.Instance
 
+	// ctx cancels the search from outside (Options.Context).
+	ctx context.Context
+
+	// freeRes is the free run the strategies explore from.
+	freeRes *cluster.Result
+
+	// Resume state: the checkpoint being restored (nil on a fresh run),
+	// the round the restored search had completed, and its window size.
+	resume       *searchState
+	startRound   int
+	resumeWindow int
+
 	report *Report
 }
 
 func newEngine(t *Target, o Options) *engine {
-	return &engine{t: t, o: o, report: &Report{
+	return &engine{t: t, o: o, ctx: o.Context, report: &Report{
 		Target: t.ID, Issue: t.Issue, Strategy: o.Strategy,
 	}}
 }
+
+// retrySeedOffset derives the retry seed of a failed trial: far outside
+// both the per-round stream (Seed+round, round <= MaxRounds) and the
+// combined-log stream (Seed+MaxRounds+round*RunsPerRound+extra), so a
+// retry never collides with a seed the search would use anyway.
+const retrySeedOffset = int64(1) << 32
 
 // tracing reports whether a trace sink is attached. Every emission below
 // is guarded by it, so a disabled trace builds no events and allocates
@@ -146,18 +167,58 @@ func (e *engine) isBaked(ev inject.TraceEvent) bool {
 // expected to validate names against Strategies() up front).
 func (e *engine) run() *Report {
 	start := time.Now()
+	if err := e.prepare(); err != nil {
+		if isInterrupted(err) {
+			e.report.Interrupted = true
+		} else {
+			e.report.Error = err.Error()
+		}
+		e.finish(start)
+		return e.report
+	}
+	e.explore()
+	e.finish(start)
+	return e.report
+}
+
+// prepare performs the free run (workflow step 1) and setup (step 2). The
+// free run is isolated like any trial: a panic or budget exhaustion is
+// retried once under the next derived seed, and a second failure aborts
+// the search with an error (there is no timeline to search without it).
+func (e *engine) prepare() error {
 	freeStart := time.Now()
-	free := cluster.Execute(e.o.Seed, e.bakedPlan(nil), true, e.t.Workload, e.t.Horizon)
+	free, err := e.trial(e.o.Seed, e.bakedPlan(nil), true)
+	if err != nil && !isInterrupted(err) {
+		free, err = e.trial(e.o.Seed+retrySeedOffset, e.bakedPlan(nil), true)
+	}
+	if err != nil {
+		if !isInterrupted(err) {
+			err = fmt.Errorf("free run failed twice: %w", err)
+		}
+		return err
+	}
 	e.report.FreeRunTime = time.Since(freeStart)
 	e.report.FreeRunLogLines = len(free.Entries)
-
+	e.freeRes = free
 	e.setup(free)
+	return nil
+}
 
+// explore dispatches the prepared search to the registered strategy.
+func (e *engine) explore() {
 	if impl, ok := lookupStrategy(e.o.Strategy); ok {
-		impl.Explore(&Search{e: e, free: free})
+		impl.Explore(&Search{e: e, free: e.freeRes})
 	}
-	e.report.Elapsed = time.Since(start)
+}
 
+// finish closes the report. An interrupted search emits no trace outcome:
+// its trace must stay a pure prefix of the uninterrupted stream so a
+// resumed continuation concatenates into the identical trace.
+func (e *engine) finish(start time.Time) {
+	e.report.Elapsed += time.Since(start)
+	if e.report.Interrupted {
+		return
+	}
 	if e.tracing() {
 		ev := &trace.Event{
 			Type: trace.Outcome, Reproduced: e.report.Reproduced,
@@ -169,6 +230,9 @@ func (e *engine) run() *Report {
 			ev.Site = e.report.Script.Site
 			ev.Occ = e.report.Script.Occurrence
 			ev.ScriptSeed = e.report.ScriptSeed
+		case e.report.Error != "":
+			ev.Reason = trace.ReasonError
+			ev.Detail = e.report.Error
 		case e.report.Rounds >= e.o.MaxRounds:
 			ev.Reason = trace.ReasonRoundCap
 		default:
@@ -179,34 +243,141 @@ func (e *engine) run() *Report {
 		}
 		e.emit(ev)
 	}
-	return e.report
 }
 
-// executeRound runs the workload once with the given plan and records the
-// round bookkeeping. Returns the run result.
-func (e *engine) executeRound(round int, plan inject.Plan, initTime time.Duration, windowSize int, rootRank int) (*cluster.Result, *Round) {
-	runStart := time.Now()
-	res := cluster.Execute(e.o.Seed+int64(round), e.bakedPlan(plan), false, e.t.Workload, e.t.Horizon)
-	reqs, decTime := res.Env.FI.Decisions()
-	rd := Round{
-		N:          round,
-		Satisfied:  false,
-		RootRank:   rootRank,
-		WindowSize: windowSize,
-		InitTime:   initTime,
-		RunTime:    time.Since(runStart),
-		InjectReqs: reqs,
-		DecideTime: decTime,
+// trial runs the workload once under the engine's watchdogs: panic
+// recovery, the event budget, and the cancellation context.
+func (e *engine) trial(seed int64, plan inject.Plan, keepTrace bool) (*cluster.Result, error) {
+	budget := e.o.EventBudget
+	if budget < 0 {
+		budget = 0 // negative means unlimited
 	}
-	// The round's searched injection is the one that is not a baked fault.
-	for _, ev := range res.Env.FI.InjectedAll() {
-		if e.isBaked(ev) {
-			continue
+	return cluster.TryExecute(e.ctx, seed, plan, keepTrace, e.t.Workload, e.t.Horizon, budget)
+}
+
+// interrupted reports whether the search must stop before starting the
+// given round — the simulated kill switch fired or the context was
+// cancelled — and marks the report resumable if so.
+func (e *engine) interrupted(round int) bool {
+	if e.o.StopAfterRound > 0 && round > e.o.StopAfterRound {
+		e.report.Interrupted = true
+		return true
+	}
+	if e.ctx != nil && e.ctx.Err() != nil {
+		e.report.Interrupted = true
+		return true
+	}
+	return false
+}
+
+// isInterrupted matches the trial error of an externally-cancelled run.
+func isInterrupted(err error) bool {
+	var te *cluster.TrialError
+	return errors.As(err, &te) && te.Class == cluster.ClassInterrupted
+}
+
+// failureClass maps a trial error to its (class, detail) pair.
+func failureClass(err error) (string, string) {
+	var te *cluster.TrialError
+	if errors.As(err, &te) {
+		return te.Class, te.Detail
+	}
+	return "error", err.Error()
+}
+
+// safeSatisfied judges a result, recovering an oracle panic into a trial
+// error of class oracle.
+func (e *engine) safeSatisfied(res *cluster.Result) (sat bool, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			sat = false
+			err = &cluster.TrialError{Class: cluster.ClassOracle, Detail: fmt.Sprint(p)}
 		}
-		rd.Injected = &inject.Instance{Site: ev.Site, Occurrence: ev.Occurrence}
-		break
+	}()
+	return e.t.Oracle.Satisfied(res), nil
+}
+
+// attempt is the outcome of one round's isolated trial: the run result and
+// round bookkeeping, the seed the (possibly retried) trial actually ran
+// under, the oracle verdict, and the terminal error when both the trial
+// and its retry failed.
+type attempt struct {
+	res  *cluster.Result
+	rd   *Round
+	seed int64
+	sat  bool
+	err  error
+}
+
+// attemptRound runs one round with the trial-isolation policy: execute
+// the plan and judge the result; on any failure — target panic, event
+// budget, oracle panic — retry once under the next derived seed; a second
+// failure degrades the round to inconclusive (err set, rd.Failure
+// classified). Cancellation is never retried.
+func (e *engine) attemptRound(round int, plan inject.Plan, initTime time.Duration, windowSize, rootRank int) attempt {
+	rd := &Round{N: round, RootRank: rootRank, WindowSize: windowSize, InitTime: initTime}
+	runStart := time.Now()
+	a := e.tryOnce(e.o.Seed+int64(round), plan, rd)
+	if a.err != nil && !isInterrupted(a.err) {
+		a = e.tryOnce(e.o.Seed+int64(round)+retrySeedOffset, plan, rd)
 	}
-	return res, &rd
+	rd.RunTime = time.Since(runStart)
+	a.rd = rd
+	if a.err != nil && !isInterrupted(a.err) {
+		rd.Inconclusive = true
+		rd.Failure, _ = failureClass(a.err)
+	}
+	return a
+}
+
+// tryOnce executes the plan under one seed and judges the result,
+// recording the round's runtime bookkeeping from whatever the run
+// produced (a recovered panic still yields a partial result).
+func (e *engine) tryOnce(seed int64, plan inject.Plan, rd *Round) attempt {
+	res, err := e.trial(seed, e.bakedPlan(plan), false)
+	if res != nil {
+		reqs, decTime := res.Env.FI.Decisions()
+		rd.InjectReqs, rd.DecideTime = reqs, decTime
+		// The round's searched injection is the one that is not baked.
+		rd.Injected = nil
+		for _, ev := range res.Env.FI.InjectedAll() {
+			if e.isBaked(ev) {
+				continue
+			}
+			rd.Injected = &inject.Instance{Site: ev.Site, Occurrence: ev.Occurrence}
+			break
+		}
+	}
+	if err != nil {
+		return attempt{res: res, seed: seed, err: err}
+	}
+	sat, serr := e.safeSatisfied(res)
+	if serr != nil {
+		return attempt{res: res, seed: seed, err: serr}
+	}
+	return attempt{res: res, seed: seed, sat: sat}
+}
+
+// recordInconclusive books a degraded round: the report and trace record
+// the failure class, the attempted instance (if one injected before the
+// failure) counts as tried so the search advances, and no feedback flows.
+func (e *engine) recordInconclusive(a attempt, window int) {
+	rd := a.rd
+	if rd.Injected != nil {
+		e.markTried(*rd.Injected)
+	}
+	e.report.InconclusiveRounds++
+	e.report.RoundLog = append(e.report.RoundLog, *rd)
+	e.report.Rounds = rd.N
+	if e.tracing() {
+		class, detail := failureClass(a.err)
+		ev := &trace.Event{Type: trace.Inconclusive, Round: rd.N, Class: class, Detail: detail}
+		if rd.Injected != nil {
+			ev.Site, ev.Occ = rd.Injected.Site, rd.Injected.Occurrence
+		}
+		e.emit(ev)
+	}
+	e.maybeCheckpoint(rd.N, window)
 }
 
 func (e *engine) markTried(inst inject.Instance) {

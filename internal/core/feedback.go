@@ -36,7 +36,13 @@ func (e *engine) feedbackLoop(spec feedbackSpec) {
 	rk := e.newRanker(useFeedback)
 
 	window := e.o.Window
-	for round := 1; round <= e.o.MaxRounds; round++ {
+	if e.resume != nil {
+		window = e.resumeWindow
+	}
+	for round := e.startRound + 1; round <= e.o.MaxRounds; round++ {
+		if e.interrupted(round) {
+			return
+		}
 		initStart := time.Now()
 		ranked := rk.ranked()
 		rootRank := 0
@@ -86,7 +92,18 @@ func (e *engine) feedbackLoop(spec feedbackSpec) {
 		initTime := time.Since(initStart)
 		e.traceDecision(round, window, candidates)
 
-		res, rd := e.executeRound(round, inject.Window(candidates), initTime, window, rootRank)
+		a := e.attemptRound(round, inject.Window(candidates), initTime, window, rootRank)
+		if isInterrupted(a.err) {
+			// Cancelled mid-trial: the round is not recorded, so resume
+			// re-executes it from the last checkpoint.
+			e.report.Interrupted = true
+			return
+		}
+		res, rd := a.res, a.rd
+		if a.err != nil {
+			e.recordInconclusive(a, window)
+			continue
+		}
 		if rd.Injected == nil {
 			// Nothing in the window occurred this round: widen it (§5.2.5).
 			grown := e.growWindow(window)
@@ -99,29 +116,43 @@ func (e *engine) feedbackLoop(spec feedbackSpec) {
 			window = grown
 			e.report.RoundLog = append(e.report.RoundLog, *rd)
 			e.report.Rounds = round
+			e.maybeCheckpoint(round, window)
 			continue
 		}
 		e.markTried(*rd.Injected)
 
-		if e.t.Oracle.Satisfied(res) {
+		if a.sat {
 			e.traceInjected(round, *rd.Injected, true)
 			rd.Satisfied = true
 			e.report.RoundLog = append(e.report.RoundLog, *rd)
 			e.report.Rounds = round
 			e.report.Reproduced = true
 			e.report.Script = rd.Injected
-			e.report.ScriptSeed = e.o.Seed + int64(round)
+			e.report.ScriptSeed = a.seed
 			return
 		}
 
 		// Combined-log mitigation (§6): re-run the same injection under
 		// extra seeds; crucial observables missing only probabilistically
-		// then show up in at least one of the runs.
+		// then show up in at least one of the runs. A failed extra run is
+		// simply dropped from the combined logs — the round's primary run
+		// already succeeded, so the round stays judgeable.
 		results := []*cluster.Result{res}
 		for extra := 1; extra < e.o.RunsPerRound; extra++ {
 			seed := e.o.Seed + int64(e.o.MaxRounds) + int64(round*e.o.RunsPerRound+extra)
-			res2 := cluster.Execute(seed, e.bakedPlan(inject.Exact(*rd.Injected)), false, e.t.Workload, e.t.Horizon)
-			if e.t.Oracle.Satisfied(res2) {
+			res2, err2 := e.trial(seed, e.bakedPlan(inject.Exact(*rd.Injected)), false)
+			if err2 != nil {
+				if isInterrupted(err2) {
+					e.report.Interrupted = true
+					return
+				}
+				continue
+			}
+			sat2, serr := e.safeSatisfied(res2)
+			if serr != nil {
+				continue
+			}
+			if sat2 {
 				e.traceInjected(round, *rd.Injected, true)
 				rd.Satisfied = true
 				e.report.RoundLog = append(e.report.RoundLog, *rd)
@@ -159,6 +190,7 @@ func (e *engine) feedbackLoop(spec feedbackSpec) {
 		}
 		e.report.RoundLog = append(e.report.RoundLog, *rd)
 		e.report.Rounds = round
+		e.maybeCheckpoint(round, window)
 	}
 }
 

@@ -100,7 +100,10 @@ func (e *engine) setup(free *cluster.Result) {
 		e.markTried(b)
 	}
 
-	if e.tracing() {
+	// A resumed run re-executes the free run (it is deterministic) but its
+	// trace continues the original stream, which already carries the
+	// FreeRun event — re-emitting it would break prefix concatenation.
+	if e.tracing() && e.resume == nil {
 		obsLabels := make([]string, len(e.obs))
 		for i, o := range e.obs {
 			obsLabels[i] = obsLabel(o)

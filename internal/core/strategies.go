@@ -107,27 +107,41 @@ func init() {
 }
 
 // enumerativeLoop drives the non-feedback strategies of §8.3/§8.4: each
-// round injects the next candidate from a strategy-specific queue.
+// round injects the next candidate from a strategy-specific queue. The
+// queue is a deterministic function of the free run, so a resumed loop
+// rebuilds the identical queue and continues at the checkpointed round.
 func (e *engine) enumerativeLoop(queue []inject.Instance) {
-	for round := 1; round <= e.o.MaxRounds && round <= len(queue); round++ {
+	for round := e.startRound + 1; round <= e.o.MaxRounds && round <= len(queue); round++ {
+		if e.interrupted(round) {
+			return
+		}
 		cand := queue[round-1]
 		e.traceDecision(round, 1, []inject.Instance{cand})
-		res, rd := e.executeRound(round, inject.Exact(cand), 0, 1, 0)
+		a := e.attemptRound(round, inject.Exact(cand), 0, 1, 0)
+		if isInterrupted(a.err) {
+			e.report.Interrupted = true
+			return
+		}
+		rd := a.rd
+		if a.err != nil {
+			e.recordInconclusive(a, 1)
+			continue
+		}
 		if rd.Injected != nil {
-			satisfied := e.t.Oracle.Satisfied(res)
-			e.traceInjected(round, *rd.Injected, satisfied)
-			if satisfied {
+			e.traceInjected(round, *rd.Injected, a.sat)
+			if a.sat {
 				rd.Satisfied = true
 				e.report.RoundLog = append(e.report.RoundLog, *rd)
 				e.report.Rounds = round
 				e.report.Reproduced = true
 				e.report.Script = rd.Injected
-				e.report.ScriptSeed = e.o.Seed + int64(round)
+				e.report.ScriptSeed = a.seed
 				return
 			}
 		}
 		e.report.RoundLog = append(e.report.RoundLog, *rd)
 		e.report.Rounds = round
+		e.maybeCheckpoint(round, 1)
 	}
 }
 

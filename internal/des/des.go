@@ -14,6 +14,7 @@ package des
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -85,6 +86,18 @@ type Sim struct {
 	// OnIdle, if non-nil, is invoked when the event queue drains before the
 	// time horizon; it may schedule more work (e.g. a workload driver).
 	OnIdle func()
+
+	// EventBudget, when positive, caps how many events a single Run call may
+	// execute. A zero-delay self-scheduling loop never advances virtual time,
+	// so the horizon alone cannot stop it; the budget is the watchdog that
+	// bounds such livelocks. Zero means unlimited.
+	EventBudget int
+	budgetHit   bool
+
+	// watch, when non-nil, is polled during Run so a cancelled context can
+	// interrupt a long simulation from outside virtual time.
+	watch    context.Context
+	watchHit bool
 }
 
 // New creates a simulation with a deterministic RNG seed.
@@ -163,11 +176,37 @@ func (s *Sim) Crashed(actor string) bool { return s.crashed[actor] }
 // Stop ends the simulation after the current event.
 func (s *Sim) Stop() { s.stopped = true }
 
+// Watch installs a context polled during Run; once ctx is cancelled the
+// current Run call returns after the in-flight event. Pass nil to clear.
+func (s *Sim) Watch(ctx context.Context) { s.watch = ctx }
+
+// BudgetExhausted reports whether a Run call stopped because it hit
+// EventBudget rather than draining, reaching the horizon, or Stop.
+func (s *Sim) BudgetExhausted() bool { return s.budgetHit }
+
+// Interrupted reports whether a Run call stopped because the watched
+// context was cancelled.
+func (s *Sim) Interrupted() bool { return s.watchHit }
+
 // Run executes events until the queue drains, the horizon passes, or Stop
 // is called. It returns the number of events executed.
+//
+// Two watchdogs bound a Run call that would otherwise never end: when
+// EventBudget is positive, Run stops after executing that many events
+// (BudgetExhausted then reports true); when a Watch context is installed
+// and cancelled, Run stops at the next poll (Interrupted reports true).
 func (s *Sim) Run(horizon Time) int {
 	start := s.executed
 	for !s.stopped {
+		if s.EventBudget > 0 && s.executed-start >= s.EventBudget {
+			s.budgetHit = true
+			break
+		}
+		// Poll the watch context cheaply: every 1024 events, not every event.
+		if s.watch != nil && (s.executed-start)&1023 == 0 && s.watch.Err() != nil {
+			s.watchHit = true
+			break
+		}
 		if len(s.queue) == 0 {
 			if s.OnIdle != nil {
 				idle := s.OnIdle

@@ -1,6 +1,7 @@
 package des
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 )
@@ -217,5 +218,95 @@ func TestJitterBounds(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// A zero-delay self-scheduling loop never advances virtual time, so the
+// horizon cannot stop it — only the event budget can.
+func TestEventBudgetBoundsLivelock(t *testing.T) {
+	s := New(1)
+	s.EventBudget = 500
+	var spin func()
+	spin = func() { s.Go("spinner", spin) }
+	s.Go("spinner", spin)
+	n := s.Run(Second)
+	if n != 500 {
+		t.Fatalf("executed %d events, want exactly the budget (500)", n)
+	}
+	if !s.BudgetExhausted() {
+		t.Fatal("BudgetExhausted not reported")
+	}
+	if s.Now() != 0 {
+		t.Fatalf("virtual clock advanced to %d during a zero-delay livelock", s.Now())
+	}
+}
+
+// The budget is per-Run: a sim that finishes under budget never reports
+// exhaustion, and the zero value means unlimited.
+func TestEventBudgetUnderAndUnlimited(t *testing.T) {
+	s := New(1)
+	s.EventBudget = 100
+	for i := 0; i < 10; i++ {
+		s.Schedule("a", Time(i), func() {})
+	}
+	s.Run(Second)
+	if s.BudgetExhausted() {
+		t.Fatal("exhausted after 10 events with budget 100")
+	}
+
+	s2 := New(1)
+	done := 0
+	var spin func()
+	spin = func() {
+		done++
+		if done < 5000 {
+			s2.Go("spinner", spin)
+		}
+	}
+	s2.Go("spinner", spin)
+	s2.Run(Second)
+	if s2.BudgetExhausted() {
+		t.Fatal("zero budget must mean unlimited")
+	}
+	if done != 5000 {
+		t.Fatalf("ran %d iterations, want 5000", done)
+	}
+}
+
+// A cancelled watch context interrupts a run that would otherwise spin
+// past any horizon.
+func TestWatchContextInterrupts(t *testing.T) {
+	s := New(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	s.Watch(ctx)
+	n := 0
+	var spin func()
+	spin = func() {
+		n++
+		if n == 3000 {
+			cancel()
+		}
+		s.Go("spinner", spin)
+	}
+	s.Go("spinner", spin)
+	s.Run(Second)
+	if !s.Interrupted() {
+		t.Fatal("Interrupted not reported after cancel")
+	}
+	// The poll runs every 1024 events, so the run stops within one poll
+	// interval of the cancellation.
+	if n < 3000 || n > 3000+1024 {
+		t.Fatalf("stopped after %d events, want within a poll interval of 3000", n)
+	}
+}
+
+func TestWatchContextUncancelledIsHarmless(t *testing.T) {
+	s := New(1)
+	s.Watch(context.Background())
+	ran := false
+	s.Schedule("a", 10, func() { ran = true })
+	s.Run(Second)
+	if !ran || s.Interrupted() {
+		t.Fatalf("ran=%v interrupted=%v, want true/false", ran, s.Interrupted())
 	}
 }

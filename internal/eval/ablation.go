@@ -46,9 +46,18 @@ func AblationTable(opt Options) (*Table, error) {
 		}
 	}
 	reps, err := parallel.Map(opt.Workers, cells, func(_ int, c cell) (*core.Report, error) {
-		opts := core.Options{Strategy: core.FullFeedback, Seed: opt.Seed, MaxRounds: opt.MaxRounds}
-		ablationSettings[c.si].mutate(&opts)
-		return core.Reproduce(targets[scens[c.fi].ID], opts), nil
+		if err := opt.ctxErr(); err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("ablation-s%d-%s", c.si, scens[c.fi].ID)
+		return opt.cellReport(name, func() (*core.Report, error) {
+			opts := core.Options{
+				Strategy: core.FullFeedback, Seed: opt.Seed, MaxRounds: opt.MaxRounds,
+				Context: opt.Context,
+			}
+			ablationSettings[c.si].mutate(&opts)
+			return core.Reproduce(targets[scens[c.fi].ID], opts), nil
+		})
 	})
 	if err != nil {
 		return nil, err

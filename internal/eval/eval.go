@@ -6,6 +6,8 @@
 package eval
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -14,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"anduril/internal/checkpoint"
 	"anduril/internal/core"
 	"anduril/internal/failures"
 	"anduril/internal/parallel"
@@ -94,6 +97,23 @@ type Options struct {
 	// seed-determined data, so the files are byte-identical across -j
 	// settings for a fixed seed (the CI determinism job diffs them).
 	TraceDir string
+
+	// ResumeDir, when non-empty, persists each completed experiment cell's
+	// report as <cell>.report.json in this directory (created if absent)
+	// and loads it back instead of re-running the cell. After a crash or
+	// timeout, re-running the same table with the same ResumeDir skips
+	// every cell that finished. Reports are deterministic apart from
+	// timing, so a resumed table matches a fresh one under NoTiming.
+	// Interrupted or unreadable cell files are ignored and the cell
+	// re-runs. Note a cached cell skips entirely — including its TraceDir
+	// capture.
+	ResumeDir string
+
+	// Context, when non-nil, cancels in-flight experiment cells: each
+	// explorer run polls it between (and during) trials, and cells not yet
+	// started fail fast. Cancelled table runs return the context error;
+	// pair with ResumeDir to keep the finished cells.
+	Context context.Context
 }
 
 func (o Options) withDefaults() Options {
@@ -206,6 +226,60 @@ func (o Options) cellTrace(opts *core.Options, cell string) (func() error, error
 		}
 		return f.Close()
 	}, nil
+}
+
+// ctxErr reports whether the evaluation context (if any) is cancelled.
+func (o Options) ctxErr() error {
+	if o.Context != nil {
+		return o.Context.Err()
+	}
+	return nil
+}
+
+// Cell report files share the checkpoint envelope so stale or foreign
+// files are rejected instead of silently mis-parsed.
+const (
+	reportKind    = "eval-report"
+	reportVersion = 1
+)
+
+// cellReport memoizes one experiment cell's report under ResumeDir. A
+// readable cached report short-circuits run entirely; otherwise run
+// executes and — unless it errored or was interrupted mid-search — its
+// report is persisted atomically for the next attempt. An interrupted
+// cell is surfaced as an error so the table run fails fast instead of
+// rendering a partial cell.
+func (o Options) cellReport(cell string, run func() (*core.Report, error)) (*core.Report, error) {
+	path := ""
+	if o.ResumeDir != "" {
+		path = filepath.Join(o.ResumeDir, cell+".report.json")
+		if raw, err := checkpoint.Load(path, reportKind, reportVersion); err == nil {
+			rep := &core.Report{}
+			if err := json.Unmarshal(raw, rep); err == nil && !rep.Interrupted {
+				return rep, nil
+			}
+		}
+	}
+	rep, err := run()
+	if err != nil || rep == nil {
+		return rep, err
+	}
+	if rep.Interrupted {
+		err := o.ctxErr()
+		if err == nil {
+			err = context.Canceled
+		}
+		return rep, fmt.Errorf("cell %s interrupted: %w", cell, err)
+	}
+	if path != "" {
+		if err := os.MkdirAll(o.ResumeDir, 0o755); err != nil {
+			return rep, fmt.Errorf("resume dir: %w", err)
+		}
+		if err := checkpoint.Save(path, reportKind, reportVersion, rep); err != nil {
+			return rep, fmt.Errorf("cell %s: %w", cell, err)
+		}
+	}
+	return rep, nil
 }
 
 // medianInt returns the median without touching the caller's slice: cells

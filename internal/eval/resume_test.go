@@ -1,0 +1,146 @@
+package eval
+
+// Tests for the per-cell report persistence (Options.ResumeDir) and the
+// evaluation context: a resumed table must render the same bytes as a
+// fresh one, corrupted cell files must be re-run rather than trusted, and
+// a cancelled context must fail the grid fast without persisting partial
+// cells.
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"anduril/internal/core"
+)
+
+func TestCellReportMemoizes(t *testing.T) {
+	opt := Options{ResumeDir: t.TempDir()}
+	calls := 0
+	run := func() (*core.Report, error) {
+		calls++
+		return &core.Report{Target: "f1", Reproduced: true, Rounds: 7}, nil
+	}
+	rep, err := opt.cellReport("cell-x", run)
+	if err != nil || !rep.Reproduced || rep.Rounds != 7 {
+		t.Fatalf("first call: rep=%+v err=%v", rep, err)
+	}
+	rep, err = opt.cellReport("cell-x", func() (*core.Report, error) {
+		t.Fatal("cached cell re-ran")
+		return nil, nil
+	})
+	if err != nil || rep.Rounds != 7 || rep.Target != "f1" {
+		t.Fatalf("cached call: rep=%+v err=%v", rep, err)
+	}
+	if calls != 1 {
+		t.Fatalf("run called %d times, want 1", calls)
+	}
+
+	// Without ResumeDir every call runs.
+	bare := Options{}
+	if _, err := bare.cellReport("cell-x", run); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("run called %d times without ResumeDir, want 2", calls)
+	}
+}
+
+func TestCellReportDoesNotPersistInterrupted(t *testing.T) {
+	opt := Options{ResumeDir: t.TempDir()}
+	_, err := opt.cellReport("cell-i", func() (*core.Report, error) {
+		return &core.Report{Interrupted: true, Rounds: 3}, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("interrupted cell: err=%v, want interruption error", err)
+	}
+	if _, serr := os.Stat(filepath.Join(opt.ResumeDir, "cell-i.report.json")); !os.IsNotExist(serr) {
+		t.Fatalf("interrupted cell was persisted (stat err=%v)", serr)
+	}
+	// The next attempt re-runs and persists the completed report.
+	rep, err := opt.cellReport("cell-i", func() (*core.Report, error) {
+		return &core.Report{Reproduced: true, Rounds: 9}, nil
+	})
+	if err != nil || rep.Rounds != 9 {
+		t.Fatalf("retry: rep=%+v err=%v", rep, err)
+	}
+	if _, serr := os.Stat(filepath.Join(opt.ResumeDir, "cell-i.report.json")); serr != nil {
+		t.Fatalf("completed retry not persisted: %v", serr)
+	}
+}
+
+// A table rendered from a resume dir — first while populating it, then
+// entirely from cache, then after one cell file is corrupted — must match
+// the fresh run byte for byte (NoTiming masks the measured cells; cached
+// reports carry stale durations by design).
+func TestResumeDirTableEquivalence(t *testing.T) {
+	strategies := []core.Strategy{core.FullFeedback}
+	fresh := Options{MaxRounds: 60, NoTiming: true}
+	dir := t.TempDir()
+	resumed := Options{MaxRounds: 60, NoTiming: true, ResumeDir: dir}
+
+	want, err := Table2Efficacy(fresh, strategies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	populate, err := Table2Efficacy(resumed, strategies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if populate.Render() != want.Render() {
+		t.Fatalf("populating run differs from fresh run:\n--- fresh ---\n%s\n--- populating ---\n%s",
+			want.Render(), populate.Render())
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "table2-*.report.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 22 {
+		t.Fatalf("resume dir holds %d cell reports, want 22", len(files))
+	}
+
+	cached, err := Table2Efficacy(resumed, strategies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Render() != want.Render() {
+		t.Fatalf("cached run differs from fresh run:\n--- fresh ---\n%s\n--- cached ---\n%s",
+			want.Render(), cached.Render())
+	}
+
+	// A corrupted cell file is ignored and its cell re-runs.
+	if err := os.WriteFile(files[0], []byte(`{"kind":"eval-report","ver`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	healed, err := Table2Efficacy(resumed, strategies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healed.Render() != want.Render() {
+		t.Fatalf("run after corrupting %s differs from fresh run", filepath.Base(files[0]))
+	}
+	raw, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"kind":"eval-report"`) {
+		t.Fatalf("corrupted cell file was not rewritten: %q", raw)
+	}
+}
+
+func TestCancelledContextFailsTableFast(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt := Options{MaxRounds: 60, Context: ctx, ResumeDir: t.TempDir()}
+	_, err := Table2Efficacy(opt, []core.Strategy{core.FullFeedback})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled table: err=%v, want context.Canceled", err)
+	}
+	files, _ := filepath.Glob(filepath.Join(opt.ResumeDir, "*.report.json"))
+	if len(files) != 0 {
+		t.Fatalf("cancelled run persisted %d cell reports, want 0", len(files))
+	}
+}

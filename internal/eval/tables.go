@@ -14,17 +14,25 @@ import (
 // the worker pool. Each cell is a hermetic, seeded run against a shared
 // read-only Target, and parallel.Map returns results in input order, so
 // the assembled tables do not depend on the worker count. label names the
-// calling experiment in per-cell trace files (Options.TraceDir).
+// calling experiment in per-cell trace files (Options.TraceDir) and
+// per-cell report files (Options.ResumeDir).
 func reproduceCells(opt Options, label string, targets map[string]*core.Target,
 	scens []*failures.Scenario, optFor func(i int, s *failures.Scenario) core.Options) ([]*core.Report, error) {
 	return parallel.Map(opt.Workers, scens, func(i int, s *failures.Scenario) (*core.Report, error) {
-		opts := optFor(i, s)
-		done, err := opt.cellTrace(&opts, fmt.Sprintf("%s-%s", label, s.ID))
-		if err != nil {
+		if err := opt.ctxErr(); err != nil {
 			return nil, err
 		}
-		rep := core.Reproduce(targets[s.ID], opts)
-		return rep, done()
+		cell := fmt.Sprintf("%s-%s", label, s.ID)
+		return opt.cellReport(cell, func() (*core.Report, error) {
+			opts := optFor(i, s)
+			opts.Context = opt.Context
+			done, err := opt.cellTrace(&opts, cell)
+			if err != nil {
+				return nil, err
+			}
+			rep := core.Reproduce(targets[s.ID], opts)
+			return rep, done()
+		})
 	})
 }
 
@@ -115,15 +123,22 @@ func Table2Efficacy(opt Options, strategies []core.Strategy) (*Table, error) {
 		}
 	}
 	reps, err := parallel.Map(opt.Workers, cells, func(_ int, c cell) (*core.Report, error) {
-		opts := core.Options{
-			Strategy: strategies[c.si], Seed: opt.Seed, MaxRounds: opt.MaxRounds,
-		}
-		done, err := opt.cellTrace(&opts, fmt.Sprintf("table2-%s-%s", scens[c.fi].ID, strategies[c.si]))
-		if err != nil {
+		if err := opt.ctxErr(); err != nil {
 			return nil, err
 		}
-		rep := core.Reproduce(targets[scens[c.fi].ID], opts)
-		return rep, done()
+		name := fmt.Sprintf("table2-%s-%s", scens[c.fi].ID, strategies[c.si])
+		return opt.cellReport(name, func() (*core.Report, error) {
+			opts := core.Options{
+				Strategy: strategies[c.si], Seed: opt.Seed, MaxRounds: opt.MaxRounds,
+				Context: opt.Context,
+			}
+			done, err := opt.cellTrace(&opts, name)
+			if err != nil {
+				return nil, err
+			}
+			rep := core.Reproduce(targets[scens[c.fi].ID], opts)
+			return rep, done()
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -177,11 +192,18 @@ func Table3Sensitivity(opt Options) (*Table, error) {
 		}
 	}
 	reps, err := parallel.Map(opt.Workers, cells, func(_ int, c cell) (*core.Report, error) {
+		if err := opt.ctxErr(); err != nil {
+			return nil, err
+		}
 		p := params[c.pi]
-		return core.Reproduce(targets[scens[c.fi].ID], core.Options{
-			Strategy: core.FullFeedback, Seed: opt.Seed,
-			MaxRounds: opt.MaxRounds, Window: p.window, Adjust: p.adjust,
-		}), nil
+		name := fmt.Sprintf("table3-p%d-%s", c.pi, scens[c.fi].ID)
+		return opt.cellReport(name, func() (*core.Report, error) {
+			return core.Reproduce(targets[scens[c.fi].ID], core.Options{
+				Strategy: core.FullFeedback, Seed: opt.Seed,
+				MaxRounds: opt.MaxRounds, Window: p.window, Adjust: p.adjust,
+				Context: opt.Context,
+			}), nil
+		})
 	})
 	if err != nil {
 		return nil, err
@@ -291,9 +313,18 @@ func Table6NewRootCauses(opt Options) (*Table, error) {
 		Notes:  []string{"Rows appear when the oracle-satisfying fault differs from the ground-truth site."},
 	}
 	rows, err := parallel.Map(opt.Workers, failures.All(), func(_ int, s *failures.Scenario) ([]string, error) {
-		rep := core.Reproduce(targets[s.ID], core.Options{
-			Strategy: core.FullFeedback, Seed: opt.Seed, MaxRounds: opt.MaxRounds,
+		if err := opt.ctxErr(); err != nil {
+			return nil, err
+		}
+		rep, err := opt.cellReport("table6-"+s.ID, func() (*core.Report, error) {
+			return core.Reproduce(targets[s.ID], core.Options{
+				Strategy: core.FullFeedback, Seed: opt.Seed, MaxRounds: opt.MaxRounds,
+				Context: opt.Context,
+			}), nil
 		})
+		if err != nil {
+			return nil, err
+		}
 		if !rep.Reproduced || rep.Script == nil {
 			return nil, nil
 		}
@@ -402,6 +433,7 @@ func Figure6RankTrajectory(opt Options, failureID string) (*Table, error) {
 	rep := core.Reproduce(tgt, core.Options{
 		Strategy: core.FullFeedback, Seed: opt.Seed,
 		MaxRounds: opt.MaxRounds, Window: 1, TrackRank: true,
+		Context: opt.Context,
 	})
 	t := &Table{
 		Title:  fmt.Sprintf("Figure 6: rank of the root-cause fault site across trials (%s)", s.Issue),

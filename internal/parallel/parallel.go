@@ -9,6 +9,7 @@
 package parallel
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 )
@@ -32,6 +33,11 @@ func Workers(n int) int {
 // f must be safe to call concurrently with itself; it receives the item's
 // index so callers can derive per-cell seeds or labels without shared
 // state.
+//
+// A panic inside f is recovered and reported as that item's error ("item i
+// panicked: v"), subject to the same lowest-index rule, so one misbehaving
+// cell cannot take down the whole grid; the other items' results are still
+// computed and returned.
 func Map[T, R any](workers int, items []T, f func(i int, item T) (R, error)) ([]R, error) {
 	results := make([]R, len(items))
 	if len(items) == 0 {
@@ -43,7 +49,7 @@ func Map[T, R any](workers int, items []T, f func(i int, item T) (R, error)) ([]
 	}
 	if workers <= 1 {
 		for i, item := range items {
-			r, err := f(i, item)
+			r, err := safeApply(f, i, item)
 			if err != nil {
 				return results, err
 			}
@@ -60,7 +66,7 @@ func Map[T, R any](workers int, items []T, f func(i int, item T) (R, error)) ([]
 		go func() {
 			defer wg.Done()
 			for i := range indices {
-				r, err := f(i, items[i])
+				r, err := safeApply(f, i, items[i])
 				if err != nil {
 					errs[i] = err
 					continue
@@ -81,4 +87,14 @@ func Map[T, R any](workers int, items []T, f func(i int, item T) (R, error)) ([]
 		}
 	}
 	return results, nil
+}
+
+// safeApply calls f(i, item), converting a panic into an error.
+func safeApply[T, R any](f func(i int, item T) (R, error), i int, item T) (r R, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("parallel: item %d panicked: %v", i, p)
+		}
+	}()
+	return f(i, item)
 }

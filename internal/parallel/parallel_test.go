@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -103,5 +104,60 @@ func TestMapEachItemOnce(t *testing.T) {
 		if got := counts[i].Load(); got != 1 {
 			t.Fatalf("item %d processed %d times", i, got)
 		}
+	}
+}
+
+// A panicking worker must not crash the process: the panic becomes the
+// item's error (lowest failing index wins) and every other item's result
+// survives.
+func TestMapPanicIsolated(t *testing.T) {
+	items := []int{10, 20, 30, 40, 50}
+	results, err := Map(4, items, func(i, item int) (int, error) {
+		if i == 2 {
+			panic("worker bug")
+		}
+		return item * 2, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "item 2 panicked: worker bug") {
+		t.Fatalf("err=%v, want item 2 panic error", err)
+	}
+	for _, i := range []int{0, 1, 3, 4} {
+		if results[i] != items[i]*2 {
+			t.Fatalf("item %d result lost: %d", i, results[i])
+		}
+	}
+}
+
+// With several panicking items the reported error is deterministic: the
+// lowest failing index, same rule as plain errors.
+func TestMapPanicLowestIndexWins(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		_, err := Map(8, make([]struct{}, 16), func(i int, _ struct{}) (struct{}, error) {
+			if i == 3 || i == 11 {
+				panic(i)
+			}
+			return struct{}{}, nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "item 3 panicked") {
+			t.Fatalf("trial %d: err=%v, want item 3", trial, err)
+		}
+	}
+}
+
+// Serial mode converts a panic to an error too, stopping at that item.
+func TestMapSerialPanic(t *testing.T) {
+	var calls atomic.Int32
+	_, err := Map(1, []int{0, 1, 2}, func(i, item int) (int, error) {
+		calls.Add(1)
+		if i == 1 {
+			panic("boom")
+		}
+		return item, nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "item 1 panicked") {
+		t.Fatalf("err=%v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("serial mode made %d calls, want 2", got)
 	}
 }

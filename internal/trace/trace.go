@@ -49,8 +49,16 @@ const (
 	// observable priorities I_k were adjusted and the resulting site
 	// priority deltas.
 	Feedback EventType = "feedback"
+	// Inconclusive records a round whose trial could not be judged: the
+	// target panicked, the event-budget watchdog fired, or the oracle
+	// errored — twice, since the engine retries once under the next derived
+	// seed before degrading. The round feeds nothing back; the search
+	// continues.
+	Inconclusive EventType = "inconclusive"
 	// Outcome terminates the stream: reproduced or not, rounds used, and
-	// which guard ended the search.
+	// which guard ended the search. An interrupted (killed or cancelled)
+	// search emits NO outcome, so its trace is a resumable prefix of the
+	// uninterrupted stream.
 	Outcome EventType = "outcome"
 )
 
@@ -59,6 +67,7 @@ const (
 	ReasonReproduced = "reproduced"
 	ReasonExhausted  = "fault-space-exhausted"
 	ReasonRoundCap   = "round-cap"
+	ReasonError      = "trial-error"
 )
 
 // Float is a JSON-safe float64: infinities (an unreachable site's F_i)
@@ -173,6 +182,10 @@ type Event struct {
 	Bumped  []ObsPriority `json:"bumped,omitempty"`
 	Deltas  []SiteDelta   `json:"deltas,omitempty"`
 
+	// Inconclusive: the failure class (cluster.Class*) and detail.
+	Class  string `json:"class,omitempty"`
+	Detail string `json:"detail,omitempty"`
+
 	// Outcome.
 	Reproduced bool   `json:"reproduced,omitempty"`
 	Rounds     int    `json:"rounds,omitempty"`
@@ -232,11 +245,12 @@ func (m *Memory) Emit(ev *Event) { m.Events = append(m.Events, *ev) }
 
 // Stats are aggregate counters over one or more traces.
 type Stats struct {
-	Events     map[EventType]int // events per type
-	Rounds     int               // RoundStart events
-	Injections int               // Injected events
-	EmptyRound int               // WindowGrow events (no candidate occurred)
-	Reproduced bool              // any Outcome with Reproduced
+	Events       map[EventType]int // events per type
+	Rounds       int               // RoundStart events
+	Injections   int               // Injected events
+	EmptyRound   int               // WindowGrow events (no candidate occurred)
+	Inconclusive int               // Inconclusive events (unjudgeable trials)
+	Reproduced   bool              // any Outcome with Reproduced
 
 	WindowSizes map[int]int    // RoundStart window size -> rounds
 	DecisionSz  map[int]int    // Decision candidate count -> rounds
@@ -268,6 +282,8 @@ func AggregateStats(events []Event) Stats {
 			s.SiteTrials[ev.Site]++
 		case WindowGrow:
 			s.EmptyRound++
+		case Inconclusive:
+			s.Inconclusive++
 		case Outcome:
 			if ev.Reproduced {
 				s.Reproduced = true
