@@ -72,6 +72,17 @@ const (
 	Random            = core.Random
 )
 
+// Fault classes for Options.FaultClasses / Target.FaultClasses: error-return
+// sites (the paper's space) and environment faults (crash/restart,
+// partition/heal, message drop/delay).
+const (
+	ClassSite = core.ClassSite
+	ClassEnv  = core.ClassEnv
+)
+
+// ValidFaultClass reports whether a fault-class name is recognized.
+func ValidFaultClass(c string) bool { return core.ValidFaultClass(c) }
+
 // Strategies lists every registered strategy in registration order (the
 // built-ins follow Table 2 column order).
 func Strategies() []Strategy { return core.Strategies() }
@@ -139,8 +150,10 @@ func Script(r *Report) string {
 		r.Target, r.Script.Site, r.Script.Occurrence, r.Rounds)
 }
 
-// Dataset returns one of the 22 real-world failures (f1..f22, or by issue
-// id like "HB-25905") as a ready-to-reproduce target.
+// Dataset returns one of the dataset failures (f1..f22 mirror the paper's
+// 22 real-world issues; f23..f25 are env-rooted — crash, partition,
+// message delay) by id or issue id like "HB-25905", as a
+// ready-to-reproduce target.
 func Dataset(id string) (*Target, error) {
 	s, ok := failures.ByID(id)
 	if !ok {

@@ -10,6 +10,7 @@
 //	anduril -failure f3 -trace - | trace -stats -  # '-' streams the trace to stdout
 //	anduril -failure f3 -checkpoint ck.json        # checkpoint the search every 10 rounds
 //	anduril -failure f3 -checkpoint ck.json -resume  # continue an interrupted search
+//	anduril -failure f23 -fault-classes=env,site   # widen the search to environment faults
 //
 // Exit codes: 0 = reproduced (or an informational command), 1 = internal
 // error, 2 = usage error, 3 = search exhausted without reproducing,
@@ -21,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"anduril"
 	"anduril/internal/core"
@@ -59,7 +61,7 @@ func main() {
 	var (
 		list      = flag.Bool("list", false, "list the dataset failures and exit")
 		listStrat = flag.Bool("list-strategies", false, "list the registered exploration strategies and exit")
-		failure   = flag.String("failure", "", "dataset failure to reproduce (f1..f22 or issue id)")
+		failure   = flag.String("failure", "", "dataset failure to reproduce (f1..f25 or issue id)")
 		strategy  = flag.String("strategy", string(anduril.FullFeedback), "exploration strategy (see -list-strategies)")
 		seed      = flag.Int64("seed", 1, "master seed (round r runs with seed+r)")
 		maxRounds = flag.Int("max-rounds", 500, "round cap (the paper's 24-hour analog)")
@@ -74,6 +76,7 @@ func main() {
 		ckptEvery = flag.Int("checkpoint-every", 10, "checkpoint every N rounds (with -checkpoint)")
 		resume    = flag.Bool("resume", false, "resume an interrupted search from -checkpoint")
 		stopAfter = flag.Int("stop-after", 0, "interrupt the search after round N (exit 4; 0 = run to completion)")
+		classes   = flag.String("fault-classes", "", "comma-separated fault classes to search: site, env (default: the failure's own classes)")
 	)
 	flag.Parse()
 
@@ -94,6 +97,16 @@ func main() {
 	}
 	if *resume && *ckptPath == "" {
 		usageErr("-resume requires -checkpoint to name the checkpoint file")
+	}
+	var faultClasses []string
+	if *classes != "" {
+		for _, c := range strings.Split(*classes, ",") {
+			c = strings.TrimSpace(c)
+			if !anduril.ValidFaultClass(c) {
+				usageErr("-fault-classes: unknown class %q (valid: %s, %s)", c, anduril.ClassSite, anduril.ClassEnv)
+			}
+			faultClasses = append(faultClasses, c)
+		}
 	}
 	if *iterative > 1 && (*ckptPath != "" || *resume) {
 		usageErr("-checkpoint/-resume are not supported with -iterative (each pass re-bakes the workload)")
@@ -163,7 +176,7 @@ func main() {
 		Strategy: anduril.Strategy(*strategy), Seed: *seed,
 		MaxRounds: *maxRounds, Window: *window, Adjust: *adjust,
 		Checkpoint: *ckptPath, CheckpointEvery: *ckptEvery,
-		StopAfterRound: *stopAfter,
+		StopAfterRound: *stopAfter, FaultClasses: faultClasses,
 	}
 	if sink != nil {
 		opts.Trace = sink

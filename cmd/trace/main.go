@@ -30,7 +30,7 @@ func main() {
 	var (
 		site    = flag.String("site", "", "only events touching this fault site (substring match)")
 		round   = flag.Int("round", 0, "only events of this round (free_run/outcome always shown)")
-		event   = flag.String("event", "", "only events of this type (free_run, round, decision, injected, window_grow, feedback, inconclusive, outcome)")
+		event   = flag.String("event", "", "only events of this type (free_run, round, decision, injected, env_injected, window_grow, feedback, inconclusive, outcome)")
 		stats   = flag.Bool("stats", false, "print aggregate counters and histograms instead of events")
 		diff    = flag.Bool("diff", false, "compare two trace files event by event; exit 1 if they differ")
 		maxDiff = flag.Int("max-diffs", 10, "divergences to report in -diff mode")
@@ -189,6 +189,20 @@ func render(ev *trace.Event) string {
 			verdict = "ORACLE SATISFIED"
 		}
 		fmt.Fprintf(&b, "round %3d: injected %s#%d — %s", ev.Round, ev.Site, ev.Occ, verdict)
+	case trace.EnvInjected:
+		verdict := "oracle not satisfied"
+		if ev.Satisfied {
+			verdict = "ORACLE SATISFIED"
+		}
+		subject := ev.Subject
+		if ev.Peer != "" {
+			subject += "/" + ev.Peer
+		}
+		fmt.Fprintf(&b, "round %3d: injected env %s on %s (%s#%d", ev.Round, ev.Class, subject, ev.Site, ev.Occ)
+		if ev.Dur > 0 {
+			fmt.Fprintf(&b, ", %dms", ev.Dur/1_000_000)
+		}
+		fmt.Fprintf(&b, ") — %s", verdict)
 	case trace.WindowGrow:
 		fmt.Fprintf(&b, "round %3d: no candidate occurred; window %d -> %d", ev.Round, ev.From, ev.To)
 		if ev.Clamped {
@@ -207,6 +221,12 @@ func render(ev *trace.Event) string {
 		fmt.Fprintf(&b, "round %3d: inconclusive — %s", ev.Round, ev.Class)
 		if ev.Site != "" {
 			fmt.Fprintf(&b, " after injecting %s#%d", ev.Site, ev.Occ)
+		}
+		if ev.Seed != 0 {
+			fmt.Fprintf(&b, " trial-seed=%d", ev.Seed)
+		}
+		if ev.Actor != "" {
+			fmt.Fprintf(&b, " actor=%s", ev.Actor)
 		}
 		if ev.Detail != "" {
 			fmt.Fprintf(&b, " (%s)", clip(ev.Detail, 80))

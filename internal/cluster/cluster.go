@@ -24,6 +24,45 @@ type Env struct {
 	FI   *inject.Runtime
 	Net  *simnet.Net
 	Disk *simdisk.Disk
+
+	nodes map[string]NodeControl
+}
+
+// NodeControl is how a target system exposes a node to crash/restart
+// environment faults: Crash tears the node's runtime state down (stop
+// its loops, drop in-memory state), Restart brings it back with
+// whatever state survives a real process crash. The network down-state
+// around the outage is managed by the environment; the controls only
+// handle the system-level teardown and recovery.
+type NodeControl struct {
+	Crash   func()
+	Restart func()
+}
+
+// RegisterNode registers the crash/restart controls for a named node.
+// Workloads call it during construction; nodes without controls still
+// crash (the environment toggles their network down-state) but keep
+// their runtime loops, which models a network-isolated rather than a
+// killed process.
+func (e *Env) RegisterNode(name string, ctl NodeControl) { e.nodes[name] = ctl }
+
+// crashNode executes a crash environment fault at the cluster level:
+// network down + system teardown now, restart + network up after the
+// outage. It runs restart even without a registered control so the
+// node's peers see it return.
+func (e *Env) crashNode(node string, restartAfter des.Time) {
+	ctl := e.nodes[node]
+	e.Net.SetDown(node, true)
+	if ctl.Crash != nil {
+		ctl.Crash()
+	}
+	e.Sim.Schedule("env-restart", restartAfter, func() {
+		e.Net.SetDown(node, false)
+		if ctl.Restart != nil {
+			ctl.Restart()
+		}
+		e.Log.Infof("env: node %s restarted", node)
+	})
 }
 
 // NewEnv builds a fully-wired environment. seed drives all nondeterminism
@@ -42,7 +81,23 @@ func NewEnv(seed int64, plan inject.Plan) *Env {
 	fi.Now = sim.Now
 	net := simnet.New(sim, fi, lg, des.Millisecond, 4*des.Millisecond)
 	disk := simdisk.New(fi)
-	return &Env{Sim: sim, Log: lg, FI: fi, Net: net, Disk: disk}
+	env := &Env{Sim: sim, Log: lg, FI: fi, Net: net, Disk: disk, nodes: make(map[string]NodeControl)}
+	net.OnCrash = env.crashNode
+	return env
+}
+
+// ExecOption configures an Execute/TryExecute round beyond the core
+// parameters.
+type ExecOption func(*Env)
+
+// WithEnvFaults opts the round into environment pseudo-sites: the
+// network counts (and can inject at) crash/partition/drop/delay
+// instances. Off by default so site-only rounds keep byte-identical
+// traces; plans that already carry env instances enable counting on
+// their own (see inject.PlanCarriesEnv), so this option matters for
+// free runs and mixed windows.
+func WithEnvFaults() ExecOption {
+	return func(e *Env) { e.FI.EnvEnabled = true }
 }
 
 // Result snapshots what a round produced: the observables the explorer
@@ -64,9 +119,12 @@ type Workload func(env *Env)
 
 // Execute performs one round: construct env, run the workload to the
 // horizon (or quiescence), snapshot the result.
-func Execute(seed int64, plan inject.Plan, keepTrace bool, w Workload, horizon des.Time) *Result {
+func Execute(seed int64, plan inject.Plan, keepTrace bool, w Workload, horizon des.Time, opts ...ExecOption) *Result {
 	env := NewEnv(seed, plan)
 	env.FI.KeepTrace = keepTrace
+	for _, opt := range opts {
+		opt(env)
+	}
 	w(env)
 	n := env.Sim.Run(horizon)
 	return snapshot(env, n, keepTrace)
@@ -85,13 +143,27 @@ const (
 
 // TrialError describes why a trial could not produce a judgeable result.
 // Class is one of the Class* constants; Detail is human-readable context
-// (the panic value, the budget size, ...).
+// (the panic value, the budget size, ...). Seed and Actor identify the
+// subject: which trial seed produced the failure and — for panics —
+// which actor (node thread) was executing when it fired, so the record
+// pinpoints the node to blame.
 type TrialError struct {
 	Class  string
 	Detail string
+	Seed   int64
+	Actor  string
 }
 
-func (e *TrialError) Error() string { return e.Class + ": " + e.Detail }
+func (e *TrialError) Error() string {
+	msg := e.Class + ": " + e.Detail
+	if e.Actor != "" {
+		msg += " (actor " + e.Actor + ")"
+	}
+	if e.Seed != 0 {
+		msg += fmt.Sprintf(" [seed %d]", e.Seed)
+	}
+	return msg
+}
 
 // TryExecute is Execute hardened for untrusted target systems: a panic in
 // the workload or simulation is recovered into a *TrialError (class
@@ -101,17 +173,22 @@ func (e *TrialError) Error() string { return e.Class + ": " + e.Detail }
 // the simulation (class "interrupted"). On error the returned Result holds
 // whatever the environment had produced so far — enough for diagnostics,
 // not a judgeable round.
-func TryExecute(ctx context.Context, seed int64, plan inject.Plan, keepTrace bool, w Workload, horizon des.Time, eventBudget int) (res *Result, err error) {
+func TryExecute(ctx context.Context, seed int64, plan inject.Plan, keepTrace bool, w Workload, horizon des.Time, eventBudget int, opts ...ExecOption) (res *Result, err error) {
 	env := NewEnv(seed, plan)
 	env.FI.KeepTrace = keepTrace
 	env.Sim.EventBudget = eventBudget
+	for _, opt := range opts {
+		opt(env)
+	}
 	if ctx != nil {
 		env.Sim.Watch(ctx)
 	}
 	defer func() {
 		if p := recover(); p != nil {
 			res = snapshot(env, 0, keepTrace)
-			err = &TrialError{Class: ClassPanic, Detail: fmt.Sprint(p)}
+			// A panic unwinds past the kernel's current-actor reset, so
+			// Current() still names the actor whose event panicked.
+			err = &TrialError{Class: ClassPanic, Detail: fmt.Sprint(p), Seed: seed, Actor: env.Sim.Current()}
 		}
 	}()
 	w(env)
@@ -119,9 +196,9 @@ func TryExecute(ctx context.Context, seed int64, plan inject.Plan, keepTrace boo
 	res = snapshot(env, n, keepTrace)
 	switch {
 	case env.Sim.Interrupted():
-		err = &TrialError{Class: ClassInterrupted, Detail: "run cancelled"}
+		err = &TrialError{Class: ClassInterrupted, Detail: "run cancelled", Seed: seed}
 	case env.Sim.BudgetExhausted():
-		err = &TrialError{Class: ClassEventBudget, Detail: fmt.Sprintf("exceeded %d events", eventBudget)}
+		err = &TrialError{Class: ClassEventBudget, Detail: fmt.Sprintf("exceeded %d events", eventBudget), Seed: seed}
 	}
 	return res, err
 }

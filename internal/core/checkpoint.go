@@ -50,6 +50,11 @@ type searchState struct {
 	Window   int `json:"window"` // flexible-window size for the next round
 	ObsCount int `json:"obs_count"`
 
+	// FaultClasses records the resolved fault classes of the run in
+	// canonical order; resuming with a different class set would search a
+	// different space. Absent (nil) in pre-env checkpoints = site-only.
+	FaultClasses []string `json:"fault_classes,omitempty"`
+
 	// Priorities are the feedback priorities I_k in observable order (the
 	// deterministic order setup extracts them in).
 	Priorities []int `json:"priorities"`
@@ -81,10 +86,14 @@ func (e *engine) snapshotState(round, window int) *searchState {
 	st := &searchState{
 		Target: e.t.ID, Strategy: e.o.Strategy, Seed: e.o.Seed,
 		Round: round, Window: window,
-		ObsCount:   len(e.obs),
-		Priorities: make([]int, len(e.obs)),
-		Tried:      map[string][]int{},
-		Report:     e.report,
+		ObsCount:     len(e.obs),
+		FaultClasses: e.classList(),
+		Priorities:   make([]int, len(e.obs)),
+		Tried:        map[string][]int{},
+		Report:       e.report,
+	}
+	if len(st.FaultClasses) == 1 && st.FaultClasses[0] == ClassSite {
+		st.FaultClasses = nil // canonical site-only form, compatible with pre-env checkpoints
 	}
 	for i, o := range e.obs {
 		st.Priorities[i] = o.priority
@@ -127,6 +136,8 @@ func (st *searchState) validate(t *Target, opts Options) error {
 		return fmt.Errorf("core: checkpoint used strategy %q, resuming with %q", st.Strategy, opts.Strategy)
 	case st.Seed != opts.Seed:
 		return fmt.Errorf("core: checkpoint used seed %d, resuming with %d", st.Seed, opts.Seed)
+	case !st.classesMatch(t, opts):
+		return fmt.Errorf("core: checkpoint searched fault classes %v, resuming run resolves differently", st.classNames())
 	case st.Round < 1:
 		return fmt.Errorf("core: checkpoint has invalid round %d", st.Round)
 	case st.Window < 1:
@@ -137,6 +148,33 @@ func (st *searchState) validate(t *Target, opts Options) error {
 		return fmt.Errorf("core: checkpoint has no report")
 	}
 	return nil
+}
+
+// classesMatch reports whether the checkpoint's recorded fault classes
+// (nil = site-only, the pre-env form) equal the resuming run's
+// resolution: a site-only checkpoint resumed with env enumeration (or
+// vice versa) would silently search a different space.
+func (st *searchState) classesMatch(t *Target, opts Options) bool {
+	site, env := resolveClasses(t, opts)
+	ckSite, ckEnv := st.FaultClasses == nil, false
+	for _, c := range st.FaultClasses {
+		switch c {
+		case ClassSite:
+			ckSite = true
+		case ClassEnv:
+			ckEnv = true
+		}
+	}
+	return site == ckSite && env == ckEnv
+}
+
+// classNames renders the recorded classes for error messages, expanding
+// the canonical nil form.
+func (st *searchState) classNames() []string {
+	if st.FaultClasses == nil {
+		return []string{ClassSite}
+	}
+	return st.FaultClasses
 }
 
 // applyState restores the checkpointed search state onto a prepared

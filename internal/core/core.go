@@ -77,6 +77,11 @@ type Target struct {
 	// RootSite is the ground-truth root-cause site, used only for rank
 	// tracking (Figure 6) and reporting — never by the search itself.
 	RootSite string
+
+	// FaultClasses are the fault classes the search explores for this
+	// target by default ("site", "env"); nil means site-only, the paper's
+	// fault space. Options.FaultClasses overrides per run.
+	FaultClasses []string
 }
 
 // Options tune the explorer.
@@ -88,6 +93,16 @@ type Options struct {
 	Seed          int64 // master seed; round r runs with Seed+r
 	InstanceLimit int   // per-site instance cap for the limited variants; default 3
 	TrackRank     bool  // record the root site's rank each round (Figure 6)
+
+	// FaultClasses selects which fault classes the search explores:
+	// "site" (error-return sites, the paper's fault space) and/or "env"
+	// (environment pseudo-sites: node crash/restart, pairwise
+	// partition/heal, message drop/delay). nil defaults to the target's
+	// FaultClasses, and site-only when the target declares none. With
+	// env enabled, the free run counts env instances and the window
+	// admits them — but only after every selectable site-class instance
+	// has been tried, so the site search keeps its exact order.
+	FaultClasses []string
 
 	// RunsPerRound re-executes an unsuccessful injection under extra seeds
 	// and feeds back the combined logs — the §6 mitigation for runs whose
@@ -210,8 +225,13 @@ type Report struct {
 	Rounds     int
 	Script     *inject.Instance // deterministic reproduction plan (step 4.a)
 	ScriptSeed int64            // the seed of the reproducing round: Exact(Script) under this seed replays deterministically
-	RoundLog   []Round
-	Elapsed    time.Duration
+
+	// EnvRooted marks a reproduction whose script is an environment
+	// fault (node crash, partition, message drop/delay) rather than an
+	// error-return site.
+	EnvRooted bool `json:",omitempty"`
+	RoundLog  []Round
+	Elapsed   time.Duration
 
 	RelevantObservables int
 	CandidateSites      int

@@ -35,6 +35,11 @@ type siteState struct {
 	instances []instance
 	tried     map[int]bool
 
+	// marker is the sanitized injection-marker line for env pseudo-sites
+	// ("" otherwise): an observable equal to it is direct failure-log
+	// evidence for this site, scored with envDistMatched.
+	marker string
+
 	f       float64 // current priority F_i (smaller = higher priority)
 	bestObs int     // index of the observable realizing F_i
 }
@@ -73,6 +78,15 @@ type engine struct {
 	// freeRes is the free run the strategies explore from.
 	freeRes *cluster.Result
 
+	// Enabled fault classes, resolved from Options/Target (site-only by
+	// default). instSite counts the site-class candidate instances and
+	// triedSite how many are tried, so the window logic can tell when the
+	// site-class space is saturated and env candidates may enter.
+	siteClass bool
+	envClass  bool
+	instSite  int
+	triedSite int
+
 	// Resume state: the checkpoint being restored (nil on a fresh run),
 	// the round the restored search had completed, and its window size.
 	resume       *searchState
@@ -83,9 +97,56 @@ type engine struct {
 }
 
 func newEngine(t *Target, o Options) *engine {
-	return &engine{t: t, o: o, ctx: o.Context, report: &Report{
+	e := &engine{t: t, o: o, ctx: o.Context, report: &Report{
 		Target: t.ID, Issue: t.Issue, Strategy: o.Strategy,
 	}}
+	e.siteClass, e.envClass = resolveClasses(t, o)
+	return e
+}
+
+// resolveClasses resolves the enabled fault classes from Options (which
+// wins when set) or the Target, defaulting to site-only. Unknown names
+// are ignored here; callers validate with ValidFaultClass up front.
+func resolveClasses(t *Target, o Options) (site, env bool) {
+	classes := o.FaultClasses
+	if classes == nil {
+		classes = t.FaultClasses
+	}
+	if classes == nil {
+		return true, false
+	}
+	for _, c := range classes {
+		switch c {
+		case ClassSite:
+			site = true
+		case ClassEnv:
+			env = true
+		}
+	}
+	return site, env
+}
+
+// Fault-class names for Options.FaultClasses / Target.FaultClasses.
+const (
+	ClassSite = "site"
+	ClassEnv  = "env"
+)
+
+// ValidFaultClass reports whether a class name is recognized (for CLI
+// validation).
+func ValidFaultClass(c string) bool { return c == ClassSite || c == ClassEnv }
+
+// classList renders the engine's resolved fault classes canonically
+// (for the checkpoint envelope).
+func (e *engine) classList() []string {
+	var out []string
+	if e.envClass {
+		out = append(out, ClassEnv)
+	}
+	if e.siteClass {
+		out = append(out, ClassSite)
+	}
+	return out
 }
 
 // retrySeedOffset derives the retry seed of a failed trial: far outside
@@ -104,15 +165,25 @@ func (e *engine) emit(ev *trace.Event) { e.o.Trace.Emit(ev) }
 // obsLabel renders an observable's identity for trace events.
 func obsLabel(o *observable) string { return o.key.Thread + ": " + o.key.Msg }
 
-// traceInjected records the reach at which a round's fault fired.
+// traceInjected records the reach at which a round's fault fired. An
+// environment injection is a distinct event type carrying the decoded
+// class, subject node(s) and virtual-time duration.
 func (e *engine) traceInjected(round int, inst inject.Instance, satisfied bool) {
 	if !e.tracing() {
 		return
 	}
-	e.emit(&trace.Event{
+	ev := &trace.Event{
 		Type: trace.Injected, Round: round,
 		Site: inst.Site, Occ: inst.Occurrence, Satisfied: satisfied,
-	})
+	}
+	if f, ok := inject.ParseEnvSite(inst.Site); ok {
+		ev.Type = trace.EnvInjected
+		ev.Class = string(f.Class)
+		ev.Subject = f.Subject
+		ev.Peer = f.Peer
+		ev.Dur = int64(f.Duration)
+	}
+	e.emit(ev)
 }
 
 // traceDecision records the candidate window handed to the runtime: the
@@ -216,6 +287,9 @@ func (e *engine) explore() {
 // resumed continuation concatenates into the identical trace.
 func (e *engine) finish(start time.Time) {
 	e.report.Elapsed += time.Since(start)
+	if e.report.Script != nil {
+		e.report.EnvRooted = inject.IsEnvSite(e.report.Script.Site)
+	}
 	if e.report.Interrupted {
 		return
 	}
@@ -252,7 +326,11 @@ func (e *engine) trial(seed int64, plan inject.Plan, keepTrace bool) (*cluster.R
 	if budget < 0 {
 		budget = 0 // negative means unlimited
 	}
-	return cluster.TryExecute(e.ctx, seed, plan, keepTrace, e.t.Workload, e.t.Horizon, budget)
+	var opts []cluster.ExecOption
+	if e.envClass {
+		opts = append(opts, cluster.WithEnvFaults())
+	}
+	return cluster.TryExecute(e.ctx, seed, plan, keepTrace, e.t.Workload, e.t.Horizon, budget, opts...)
 }
 
 // interrupted reports whether the search must stop before starting the
@@ -372,6 +450,13 @@ func (e *engine) recordInconclusive(a attempt, window int) {
 	if e.tracing() {
 		class, detail := failureClass(a.err)
 		ev := &trace.Event{Type: trace.Inconclusive, Round: rd.N, Class: class, Detail: detail}
+		var te *cluster.TrialError
+		if errors.As(a.err, &te) {
+			// Subject identifiers: the trial seed that failed and — for
+			// panics — the actor (node thread) executing when it fired.
+			ev.Seed = te.Seed
+			ev.Actor = te.Actor
+		}
 		if rd.Injected != nil {
 			ev.Site, ev.Occ = rd.Injected.Site, rd.Injected.Occurrence
 		}
@@ -381,7 +466,12 @@ func (e *engine) recordInconclusive(a attempt, window int) {
 }
 
 func (e *engine) markTried(inst inject.Instance) {
-	if s, ok := e.siteIndex[inst.Site]; ok {
-		s.tried[inst.Occurrence] = true
+	s, ok := e.siteIndex[inst.Site]
+	if !ok || s.tried[inst.Occurrence] {
+		return
+	}
+	s.tried[inst.Occurrence] = true
+	if !inject.IsEnvSite(inst.Site) {
+		e.triedSite++
 	}
 }

@@ -77,14 +77,7 @@ func (e *engine) feedbackLoop(spec feedbackSpec) {
 		if spec.multiply {
 			candidates = e.multiplyCandidates(ranked, window)
 		} else {
-			for _, s := range ranked {
-				if len(candidates) >= window {
-					break
-				}
-				if inst, ok := e.bestUntried(s, useTemporal, limit); ok {
-					candidates = append(candidates, inject.Instance{Site: s.id, Occurrence: inst.occ})
-				}
-			}
+			candidates = e.fillWindow(ranked, window, useTemporal, limit)
 		}
 		if len(candidates) == 0 {
 			return // fault space exhausted: cannot reproduce (step 5)

@@ -18,7 +18,47 @@ package core
 import (
 	"math"
 	"sort"
+
+	"anduril/internal/inject"
 )
+
+// Environment pseudo-sites have no causal-graph node, so their spatial
+// distance to every observable is a synthetic per-class constant —
+// larger than any graph path in the dataset, so env instances rank
+// below every causally-connected error-return site until feedback bumps
+// reorder them. The class order (crash < partition < drop < delay)
+// encodes blast radius: a crash perturbs the most behavior, so it is
+// the most promising guess for an unexplained failure.
+const (
+	envDistCrash     = 24
+	envDistPartition = 26
+	envDistDrop      = 28
+	envDistDelay     = 30
+
+	// envDistMatched scores an env site against an observable that IS the
+	// site's own injection marker (the production log recorded the
+	// environment event — "env: message nn>dn1 delayed" names the delay
+	// channel directly, modulo sanitized digits). Such evidence outranks
+	// every blast-radius prior, so an env-rooted failure whose log carries
+	// the marker is searched marker-first instead of class-order.
+	envDistMatched = 1
+)
+
+// envSiteDistance returns the synthetic distance for an env site (and
+// whether the site is one).
+func envSiteDistance(site string) (float64, bool) {
+	switch inject.EnvClassOf(site) {
+	case inject.EnvCrash:
+		return envDistCrash, true
+	case inject.EnvPartition:
+		return envDistPartition, true
+	case inject.EnvDrop:
+		return envDistDrop, true
+	case inject.EnvDelay:
+		return envDistDelay, true
+	}
+	return 0, false
+}
 
 // computePriorities evaluates F_i = min_k (L_{i,k} + I_k) for every site
 // (§5.2.4), with the distance and feedback terms toggled per strategy.
@@ -37,11 +77,24 @@ func (e *engine) rescoreSite(s *siteState, useDistance, useFeedback bool) {
 	s.f = math.Inf(1)
 	s.bestObs = -1
 	dists := e.dist[s.id]
+	envDist, isEnv := envSiteDistance(s.id)
 	for k, o := range e.obs {
 		l := math.Inf(1)
-		for _, tmpl := range o.templates {
-			if d, ok := dists[tmpl]; ok && float64(d) < l {
-				l = float64(d)
+		if isEnv {
+			// Same scoring shape as sites — F = min_k (L + I_k) — with the
+			// synthetic class distance standing in for every L_{i,k}, so
+			// feedback adjustments flow into env sites unchanged. An
+			// observable equal to this site's own marker is scored as a
+			// near-direct hit instead.
+			l = envDist
+			if s.marker != "" && o.key.Msg == s.marker {
+				l = envDistMatched
+			}
+		} else {
+			for _, tmpl := range o.templates {
+				if d, ok := dists[tmpl]; ok && float64(d) < l {
+					l = float64(d)
+				}
 			}
 		}
 		if math.IsInf(l, 1) {
@@ -179,6 +232,14 @@ func (r *indexRanker) build() {
 	r.order = e.rankedSites()
 	r.obsSites = make([][]*siteState, len(e.obs))
 	for _, s := range e.sites {
+		if inject.IsEnvSite(s.id) {
+			// An env site's synthetic distance reaches every observable,
+			// so any priority bump dirties it.
+			for k := range e.obs {
+				r.obsSites[k] = append(r.obsSites[k], s)
+			}
+			continue
+		}
 		dists := e.dist[s.id]
 		for k, o := range e.obs {
 			for _, tmpl := range o.templates {

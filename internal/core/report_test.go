@@ -5,6 +5,7 @@ package core
 // lean on.
 
 import (
+	"reflect"
 	"testing"
 	"time"
 )
@@ -63,7 +64,7 @@ func TestOptionsWithDefaults(t *testing.T) {
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			if got := tc.in.withDefaults(); got != tc.want {
+			if got := tc.in.withDefaults(); !reflect.DeepEqual(got, tc.want) {
 				t.Errorf("withDefaults()\n got %+v\nwant %+v", got, tc.want)
 			}
 		})

@@ -21,6 +21,9 @@ import (
 // resumeFixtures are the dataset failures the equivalence tests run over.
 // Window 1 slows f1/f4 down to 15+ rounds so an interruption at round 4
 // leaves real work to resume; f9 needs 19 rounds at the default window.
+// f25 is the env-rooted fixture: its delay-channel root takes the search
+// past 100 rounds, so the checkpoint envelope round-trips env instances
+// in the tried set and the recorded fault classes.
 var resumeFixtures = []struct {
 	id     string
 	window int
@@ -28,6 +31,7 @@ var resumeFixtures = []struct {
 	{"f1", 1},
 	{"f4", 1},
 	{"f9", 0},
+	{"f25", 0},
 }
 
 func lines(events []trace.Event) []string {

@@ -53,6 +53,44 @@ func (e *engine) bestUntried(s *siteState, useTemporal bool, limit int) (instanc
 	return best, found
 }
 
+// fillWindow selects the round's candidate window from the ranked
+// sites: the best untried instance of each site, in ranking order,
+// until the window is full. Selection is two-pass across fault
+// classes — error-return sites first, environment pseudo-sites only
+// when no untried site-class instance can be selected at all — so
+// enabling env enumeration never changes which site instances a round
+// injects: the site search runs to exhaustion in its exact original
+// order before the env space opens.
+func (e *engine) fillWindow(ranked []*siteState, window int, useTemporal bool, limit int) []inject.Instance {
+	var candidates []inject.Instance
+	for _, s := range ranked {
+		if len(candidates) >= window {
+			break
+		}
+		if inject.IsEnvSite(s.id) {
+			continue
+		}
+		if inst, ok := e.bestUntried(s, useTemporal, limit); ok {
+			candidates = append(candidates, inject.Instance{Site: s.id, Occurrence: inst.occ})
+		}
+	}
+	if len(candidates) > 0 || !e.envClass {
+		return candidates
+	}
+	for _, s := range ranked {
+		if len(candidates) >= window {
+			break
+		}
+		if !inject.IsEnvSite(s.id) {
+			continue
+		}
+		if inst, ok := e.bestUntried(s, useTemporal, limit); ok {
+			candidates = append(candidates, inject.Instance{Site: s.id, Occurrence: inst.occ})
+		}
+	}
+	return candidates
+}
+
 // multiplyCandidates ranks all untried (site, instance) pairs by the
 // product (F_i+1) x (T_{i,j}+1) — the §8.3 "multiply feedback" variant that
 // replaces the two-level selection.
@@ -107,6 +145,14 @@ func (e *engine) growWindow(window int) int {
 		return window
 	}
 	max := e.report.CandidateInstances
+	// While untried site-class instances remain, the window only ever
+	// holds site candidates (see fillWindow), so it clamps to the
+	// site-class count — with env enumeration enabled this keeps the
+	// growth sequence identical to a site-only run. Once the site space
+	// is exhausted the env instances set the bound.
+	if e.triedSite < e.instSite {
+		max = e.instSite
+	}
 	if max < 1 {
 		max = 1
 	}

@@ -8,6 +8,7 @@ import (
 
 	"anduril/internal/analysis"
 	"anduril/internal/cluster"
+	"anduril/internal/inject"
 	"anduril/internal/logdiff"
 	"anduril/internal/logging"
 	"anduril/internal/trace"
@@ -69,23 +70,46 @@ func (e *engine) setup(free *cluster.Result) {
 		})
 	}
 	total := 0
-	for siteID, dists := range e.dist {
-		reachesRelevant := false
-		for tmpl := range dists {
-			if relevantTemplates[tmpl] {
-				reachesRelevant = true
-				break
+	if e.siteClass {
+		for siteID, dists := range e.dist {
+			reachesRelevant := false
+			for tmpl := range dists {
+				if relevantTemplates[tmpl] {
+					reachesRelevant = true
+					break
+				}
 			}
+			if !reachesRelevant {
+				continue
+			}
+			insts := bySite[siteID]
+			if len(insts) == 0 {
+				continue
+			}
+			e.sites = append(e.sites, &siteState{id: siteID, instances: insts, tried: make(map[int]bool)})
+			total += len(insts)
 		}
-		if !reachesRelevant {
-			continue
+	}
+	e.instSite = total
+
+	// Environment pseudo-sites come from the free-run trace alone (the
+	// env-enabled network reaches them per message), not the causal
+	// graph: a crash or partition is causally adjacent to everything the
+	// topology connects, so enumeration is gated on the env class being
+	// enabled rather than on graph connectivity. With env disabled the
+	// free run reached none, and this adds nothing.
+	if e.envClass {
+		for siteID, insts := range bySite {
+			if !inject.IsEnvSite(siteID) {
+				continue
+			}
+			st := &siteState{id: siteID, instances: insts, tried: make(map[int]bool)}
+			if m, ok := inject.EnvMarker(siteID); ok {
+				st.marker = logdiff.Sanitize(m)
+			}
+			e.sites = append(e.sites, st)
+			total += len(insts)
 		}
-		insts := bySite[siteID]
-		if len(insts) == 0 {
-			continue
-		}
-		e.sites = append(e.sites, &siteState{id: siteID, instances: insts, tried: make(map[int]bool)})
-		total += len(insts)
 	}
 	sort.Slice(e.sites, func(i, j int) bool { return e.sites[i].id < e.sites[j].id })
 	e.siteIndex = make(map[string]*siteState, len(e.sites))

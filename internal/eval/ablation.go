@@ -37,7 +37,7 @@ func AblationTable(opt Options) (*Table, error) {
 		Title:  "Ablations: design choices of §5.1-§5.2.5 (full feedback, whole dataset)",
 		Header: []string{"Setting", "Reproduced", "Total rounds", "Lost failures"},
 	}
-	scens := failures.All()
+	scens := failures.SiteDataset()
 	type cell struct{ si, fi int }
 	cells := make([]cell, 0, len(ablationSettings)*len(scens))
 	for si := range ablationSettings {

@@ -174,11 +174,25 @@ var (
 // The *core.Target values are shared: they are read-only by contract
 // (core.Reproduce and Verify never mutate their Target), which is what
 // lets every worker of every table share one target set.
+// siteBySystem returns one system's scenarios restricted to the paper's
+// site-only evaluation dataset — the per-system tables (1 and 4) report
+// means and medians over the 22 failures, so the env-rooted scenarios
+// must not dilute them.
+func siteBySystem(sys string) []*failures.Scenario {
+	var out []*failures.Scenario
+	for _, s := range failures.BySystem(sys) {
+		if !s.SearchesEnv() {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
 func buildTargets(workers int) (map[string]*core.Target, error) {
 	targetMu.Lock()
 	defer targetMu.Unlock()
 	if targetCache == nil {
-		scens := failures.All()
+		scens := failures.SiteDataset()
 		targets, err := parallel.Map(workers, scens, func(_ int, s *failures.Scenario) (*core.Target, error) {
 			tgt, err := s.BuildTarget()
 			if err != nil {

@@ -55,7 +55,7 @@ func Table1FaultSites(opt Options) (*Table, error) {
 		},
 	}
 	for _, sys := range systems {
-		scens := failures.BySystem(sys)
+		scens := siteBySystem(sys)
 		if len(scens) == 0 {
 			continue
 		}
@@ -114,7 +114,7 @@ func Table2Efficacy(opt Options, strategies []core.Strategy) (*Table, error) {
 			fmt.Sprintf("'-' = not reproduced within %d rounds (the paper's 24-hour analog).", opt.MaxRounds),
 		},
 	}
-	scens := failures.All()
+	scens := failures.SiteDataset()
 	type cell struct{ fi, si int }
 	cells := make([]cell, 0, len(scens)*len(strategies))
 	for fi := range scens {
@@ -167,7 +167,7 @@ func Table3Sensitivity(opt Options) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	scens := failures.All()
+	scens := failures.SiteDataset()
 	header := []string{"Param"}
 	for _, s := range scens {
 		header = append(header, s.ID)
@@ -237,7 +237,7 @@ func Table4Performance(opt Options) (*Table, error) {
 		Header: []string{"System", "Inject.Req", "Latency", "Round Init", "Workload"},
 	}
 	for _, sys := range systems {
-		reps, err := reproduceCells(opt, "table4", targets, failures.BySystem(sys), func(int, *failures.Scenario) core.Options {
+		reps, err := reproduceCells(opt, "table4", targets, siteBySystem(sys), func(int, *failures.Scenario) core.Options {
 			return core.Options{Strategy: core.FullFeedback, Seed: opt.Seed, MaxRounds: opt.MaxRounds}
 		})
 		if err != nil {
@@ -274,7 +274,7 @@ func Table5Failures(opt Options) (*Table, error) {
 		Title:  "Table 5: the 22-failure dataset and the stacktrace-injector baseline",
 		Header: []string{"Failure", "Injected Fault", "ST rnd", "ST time", "Description"},
 	}
-	scens := failures.All()
+	scens := failures.SiteDataset()
 	reps, err := reproduceCells(opt, "table5", targets, scens, func(int, *failures.Scenario) core.Options {
 		return core.Options{Strategy: core.StackTrace, Seed: opt.Seed, MaxRounds: opt.MaxRounds}
 	})
@@ -312,7 +312,7 @@ func Table6NewRootCauses(opt Options) (*Table, error) {
 		Header: []string{"Failure", "Documented root cause", "Discovered root cause", "Verified"},
 		Notes:  []string{"Rows appear when the oracle-satisfying fault differs from the ground-truth site."},
 	}
-	rows, err := parallel.Map(opt.Workers, failures.All(), func(_ int, s *failures.Scenario) ([]string, error) {
+	rows, err := parallel.Map(opt.Workers, failures.SiteDataset(), func(_ int, s *failures.Scenario) ([]string, error) {
 		if err := opt.ctxErr(); err != nil {
 			return nil, err
 		}
@@ -362,7 +362,7 @@ func Table7StaticAnalysis(opt Options) (*Table, error) {
 		Header: []string{"System", "LOC", "Exception", "Slicing", "Chaining", "Total", "Graph V", "Graph E"},
 	}
 	for _, sys := range systems {
-		scens := failures.BySystem(sys)
+		scens := siteBySystem(sys)
 		if len(scens) == 0 {
 			continue
 		}
@@ -395,7 +395,7 @@ func Table8Runtime(opt Options) (*Table, error) {
 		Title:  "Table 8: per-failure explorer runtime details",
 		Header: []string{"Failure", "Inject.Req", "Latency", "Round Init", "Workload", "FreeRun Lines"},
 	}
-	scens := failures.All()
+	scens := failures.SiteDataset()
 	reps, err := reproduceCells(opt, "table8", targets, scens, func(int, *failures.Scenario) core.Options {
 		return core.Options{Strategy: core.FullFeedback, Seed: opt.Seed, MaxRounds: opt.MaxRounds}
 	})
@@ -459,7 +459,7 @@ func Figure6RankTrajectory(opt Options, failureID string) (*Table, error) {
 // free run never satisfies an oracle (used by tests).
 func verifyAll(opt Options) error {
 	opt = opt.withDefaults()
-	for _, s := range failures.All() {
+	for _, s := range failures.SiteDataset() {
 		free := cluster.Execute(opt.Seed, nil, false, s.Workload, s.Horizon)
 		if s.Oracle.Satisfied(free) {
 			return fmt.Errorf("%s: oracle satisfied without fault", s.ID)

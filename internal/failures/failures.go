@@ -37,6 +37,12 @@ type Scenario struct {
 	Oracle   oracle.Oracle
 	SrcDirs  []string // source directories the Instrumenter analyzes
 
+	// FaultClasses names the fault classes the explorer searches for this
+	// scenario (core.ClassSite / core.ClassEnv). Nil keeps the paper's
+	// site-only space — the f1–f22 dataset — while the env-rooted
+	// scenarios (f23+) opt into environment enumeration.
+	FaultClasses []string
+
 	// RootSite is the ground-truth root-cause fault site.
 	RootSite string
 	// FindRoot locates the ground-truth dynamic instance in a free run's
@@ -85,9 +91,30 @@ func (s *Scenario) Analyze() (*analysis.Result, error) {
 	return e.res, e.err
 }
 
+// SearchesEnv reports whether the scenario's fault classes include
+// environment faults.
+func (s *Scenario) SearchesEnv() bool {
+	for _, c := range s.FaultClasses {
+		if c == core.ClassEnv {
+			return true
+		}
+	}
+	return false
+}
+
+// execOpts returns the cluster options the scenario's own runs need:
+// env enumeration is switched on for env-class scenarios so free runs
+// count environment pseudo-sites (FindRoot needs the counts).
+func (s *Scenario) execOpts() []cluster.ExecOption {
+	if s.SearchesEnv() {
+		return []cluster.ExecOption{cluster.WithEnvFaults()}
+	}
+	return nil
+}
+
 // GroundTruth finds the root-cause instance under the given seed.
 func (s *Scenario) GroundTruth(seed int64) (inject.Instance, error) {
-	free := cluster.Execute(seed, nil, true, s.Workload, s.Horizon)
+	free := cluster.Execute(seed, nil, true, s.Workload, s.Horizon, s.execOpts()...)
 	inst, ok := s.FindRoot(free, seed)
 	if !ok {
 		return inject.Instance{}, fmt.Errorf("%s: ground-truth instance not found in free run", s.ID)
@@ -102,7 +129,7 @@ func (s *Scenario) FailureLog() ([]logging.Entry, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := cluster.Execute(FailureSeed, inject.Exact(inst), false, s.Workload, s.Horizon)
+	res := cluster.Execute(FailureSeed, inject.Exact(inst), false, s.Workload, s.Horizon, s.execOpts()...)
 	if !s.Oracle.Satisfied(res) {
 		return nil, fmt.Errorf("%s: ground-truth injection %v does not satisfy the oracle", s.ID, inst)
 	}
@@ -121,16 +148,17 @@ func (s *Scenario) BuildTarget() (*core.Target, error) {
 		return nil, err
 	}
 	return &core.Target{
-		ID:          s.ID,
-		Issue:       s.Issue,
-		System:      s.System,
-		Description: s.Description,
-		Workload:    s.Workload,
-		Horizon:     s.Horizon,
-		Oracle:      s.Oracle,
-		FailureLog:  flog,
-		Analysis:    an,
-		RootSite:    s.RootSite,
+		ID:           s.ID,
+		Issue:        s.Issue,
+		System:       s.System,
+		Description:  s.Description,
+		Workload:     s.Workload,
+		Horizon:      s.Horizon,
+		Oracle:       s.Oracle,
+		FailureLog:   flog,
+		Analysis:     an,
+		RootSite:     s.RootSite,
+		FaultClasses: s.FaultClasses,
 	}, nil
 }
 
@@ -153,6 +181,20 @@ func scenarioNum(id string) int {
 	n := 0
 	fmt.Sscanf(id, "f%d", &n)
 	return n
+}
+
+// SiteDataset returns the paper's evaluation dataset: the 22 scenarios
+// rooted in error-return faults (nil FaultClasses), in dataset order.
+// The env-rooted scenarios are excluded so evaluation tables keep
+// reproducing Table 5 unchanged.
+func SiteDataset() []*Scenario {
+	var out []*Scenario
+	for _, s := range All() {
+		if !s.SearchesEnv() {
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // ByID returns the scenario with the given dataset or issue id.

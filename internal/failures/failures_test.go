@@ -16,7 +16,7 @@ func TestScenarioInvariants(t *testing.T) {
 		s := s
 		t.Run(s.ID, func(t *testing.T) {
 			// 1. No fault, no failure.
-			free := cluster.Execute(FailureSeed, nil, true, s.Workload, s.Horizon)
+			free := cluster.Execute(FailureSeed, nil, true, s.Workload, s.Horizon, s.execOpts()...)
 			if s.Oracle.Satisfied(free) {
 				t.Fatalf("%s: oracle satisfied without any fault", s.ID)
 			}
@@ -55,7 +55,7 @@ func TestGroundTruthStableAcrossSeeds(t *testing.T) {
 		s := s
 		t.Run(s.ID, func(t *testing.T) {
 			for seed := int64(1); seed <= 3; seed++ {
-				free := cluster.Execute(seed, nil, true, s.Workload, s.Horizon)
+				free := cluster.Execute(seed, nil, true, s.Workload, s.Horizon, s.execOpts()...)
 				inst, ok := s.FindRoot(free, seed)
 				if !ok {
 					t.Fatalf("seed %d: ground truth not found", seed)
@@ -70,8 +70,21 @@ func TestGroundTruthStableAcrossSeeds(t *testing.T) {
 }
 
 func TestRegistryLookups(t *testing.T) {
-	if len(All()) != 22 {
+	if len(All()) != 25 {
 		t.Fatalf("only %d scenarios registered", len(All()))
+	}
+	// The paper's evaluation dataset is exactly the 22 site-only
+	// scenarios; the env-rooted ones are marked by their FaultClasses.
+	siteOnly, env := 0, 0
+	for _, s := range All() {
+		if s.SearchesEnv() {
+			env++
+		} else {
+			siteOnly++
+		}
+	}
+	if siteOnly != 22 || env != 3 {
+		t.Fatalf("dataset split: %d site-only, %d env-rooted", siteOnly, env)
 	}
 	if _, ok := ByID("f1"); !ok {
 		t.Fatal("f1 missing")
@@ -82,10 +95,10 @@ func TestRegistryLookups(t *testing.T) {
 	if _, ok := ByID("nope"); ok {
 		t.Fatal("bogus lookup succeeded")
 	}
-	if len(BySystem("zk")) != 4 {
+	if len(BySystem("zk")) != 5 {
 		t.Fatalf("zk scenarios: %d", len(BySystem("zk")))
 	}
-	if len(BySystem("dfs")) != 7 {
+	if len(BySystem("dfs")) != 8 {
 		t.Fatalf("dfs scenarios: %d", len(BySystem("dfs")))
 	}
 }
@@ -114,7 +127,7 @@ func TestExecuteDeterministicPerSeed(t *testing.T) {
 		s := s
 		t.Run(s.ID, func(t *testing.T) {
 			t.Parallel() // cross-scenario concurrency must not leak either
-			free := cluster.Execute(FailureSeed, nil, true, s.Workload, s.Horizon)
+			free := cluster.Execute(FailureSeed, nil, true, s.Workload, s.Horizon, s.execOpts()...)
 			inst, ok := s.FindRoot(free, FailureSeed)
 			if !ok {
 				t.Fatalf("ground truth not found")

@@ -1,0 +1,306 @@
+// Environment faults extend the fault space beyond exception-shaped
+// error returns to the faults a deployment environment inflicts on a
+// distributed system: node crash/restart, pairwise network partition
+// with a later heal, and per-message drop or delay. Each environment
+// fault class is addressed through a *pseudo-site* so that the
+// explorer's universal currency — the (site, occurrence) Instance —
+// covers the whole heterogeneous space without new plan, window,
+// tried-set or checkpoint machinery:
+//
+//	env/crash/<node>          crash the node, restart after a duration
+//	env/partition/<a>~<b>     cut the pair symmetrically, heal after a duration
+//	env/msg-drop/<from>><to>  silently drop one message on the channel
+//	env/msg-delay/<from>><to> delay one message past the receiver's patience
+//
+// The occurrence of an env pseudo-site is counted against a
+// deterministic per-run event counter: the network reaches every env
+// site relevant to a message (both endpoints' crash sites, the pair's
+// partition site, and the channel's drop/delay sites) exactly once per
+// message, in a fixed order, so occurrence j of env/crash/zk3 names
+// "the j-th network event touching zk3" identically in every run of the
+// same seed. Durations are virtual-time constants fixed per class, so
+// an Instance alone reconstructs the full fault deterministically.
+//
+// Env sites use '/' separators precisely so they can never collide with
+// the dotted "<system>.<component>.<operation>" IDs of error-return
+// sites (see the stable site-ID contract above).
+package inject
+
+import (
+	"strings"
+	"time"
+
+	"anduril/internal/des"
+)
+
+// EnvClass names an environment-fault class.
+type EnvClass string
+
+// The environment-fault classes.
+const (
+	EnvCrash     EnvClass = "crash"
+	EnvPartition EnvClass = "partition"
+	EnvDrop      EnvClass = "msg-drop"
+	EnvDelay     EnvClass = "msg-delay"
+)
+
+// Fault kinds produced by environment faults (the surfaced error for
+// crash/partition is a ConnectionError from the network layer; these
+// kinds record the class at the injection site itself).
+const (
+	CrashFault     Kind = "CrashFault"
+	PartitionFault Kind = "PartitionFault"
+	MsgDropFault   Kind = "MsgDropFault"
+	MsgDelayFault  Kind = "MsgDelayFault"
+)
+
+// envSitePrefix marks environment pseudo-sites; ordinary dotted site IDs
+// can never start with it.
+const envSitePrefix = "env/"
+
+// Default durations, in virtual time, for the stateful env-fault
+// classes. They are exported constants — not plan parameters — so a
+// reproduction script (an Instance) fully determines the execution:
+//
+//   - EnvCrashRestartAfter: how long a crashed node stays down before the
+//     environment restarts it with recovered state.
+//   - EnvPartitionHealAfter: how long a pairwise cut lasts before healing.
+//   - EnvDelayBy: the extra delivery latency a delayed message suffers —
+//     chosen to exceed every target's RPC timeout, so a delayed request or
+//     response looks lost to the sender but still arrives.
+const (
+	EnvCrashRestartAfter  = 600 * des.Millisecond
+	EnvPartitionHealAfter = 500 * des.Millisecond
+	EnvDelayBy            = 400 * des.Millisecond
+)
+
+// EnvDuration returns the virtual-time duration for a class (zero for
+// instantaneous classes like msg-drop).
+func EnvDuration(class EnvClass) des.Time {
+	switch class {
+	case EnvCrash:
+		return EnvCrashRestartAfter
+	case EnvPartition:
+		return EnvPartitionHealAfter
+	case EnvDelay:
+		return EnvDelayBy
+	default:
+		return 0
+	}
+}
+
+// EnvKind returns the fault Kind recorded for a class.
+func EnvKind(class EnvClass) Kind {
+	switch class {
+	case EnvCrash:
+		return CrashFault
+	case EnvPartition:
+		return PartitionFault
+	case EnvDrop:
+		return MsgDropFault
+	case EnvDelay:
+		return MsgDelayFault
+	default:
+		return Kind("EnvFault")
+	}
+}
+
+// EnvFault describes one environment fault to execute: the class, the
+// subject node (and peer for pairwise classes), the dynamic occurrence
+// that triggered it, and the virtual-time duration of its stateful
+// phase (down time before restart, cut time before heal, added delay).
+type EnvFault struct {
+	Class      EnvClass
+	Subject    string // node (crash), first node of pair, or sender
+	Peer       string // second node of pair, or receiver; empty for crash
+	Occurrence int    // 1-based occurrence of the pseudo-site this run
+	Duration   des.Time
+}
+
+// Site returns the pseudo-site ID addressing this fault.
+func (f EnvFault) Site() string { return EnvSiteID(f.Class, f.Subject, f.Peer) }
+
+// EnvSiteID builds the pseudo-site ID for a class and its subject
+// node(s). Partition pairs are order-insensitive: the two nodes are
+// sorted so env/partition/a~b and env/partition/b~a are the same site.
+func EnvSiteID(class EnvClass, subject, peer string) string {
+	switch class {
+	case EnvCrash:
+		return envSitePrefix + string(EnvCrash) + "/" + subject
+	case EnvPartition:
+		a, b := subject, peer
+		if b < a {
+			a, b = b, a
+		}
+		return envSitePrefix + string(EnvPartition) + "/" + a + "~" + b
+	default: // msg-drop, msg-delay: directed channel
+		return envSitePrefix + string(class) + "/" + subject + ">" + peer
+	}
+}
+
+// EnvMarker returns the log line the network emits at the moment the
+// env fault at this site fires ("", false for non-env sites). The text
+// is defined here, next to the site grammar, because two layers depend
+// on it staying identical: the network logs it on injection, and the
+// explorer treats a failure-log observable equal to a site's sanitized
+// marker as direct evidence for that site (the production log names the
+// environment event itself).
+func EnvMarker(site string) (string, bool) {
+	f, ok := ParseEnvSite(site)
+	if !ok {
+		return "", false
+	}
+	switch f.Class {
+	case EnvCrash:
+		return "env: node " + f.Subject + " crashed", true
+	case EnvPartition:
+		return "env: partition " + f.Subject + "/" + f.Peer + " cut", true
+	case EnvDrop:
+		return "env: message " + f.Subject + ">" + f.Peer + " dropped", true
+	case EnvDelay:
+		return "env: message " + f.Subject + ">" + f.Peer + " delayed", true
+	}
+	return "", false
+}
+
+// IsEnvSite reports whether a site ID addresses an environment fault.
+func IsEnvSite(site string) bool { return strings.HasPrefix(site, envSitePrefix) }
+
+// EnvClassOf extracts the class from an env pseudo-site ID ("" if the
+// site is not an env site or malformed).
+func EnvClassOf(site string) EnvClass {
+	f, ok := ParseEnvSite(site)
+	if !ok {
+		return ""
+	}
+	return f.Class
+}
+
+// ParseEnvSite decodes an env pseudo-site ID into an EnvFault template
+// (Occurrence zero; Duration filled with the class default). It is the
+// inverse of EnvSiteID.
+func ParseEnvSite(site string) (EnvFault, bool) {
+	rest, ok := strings.CutPrefix(site, envSitePrefix)
+	if !ok {
+		return EnvFault{}, false
+	}
+	class, subject, ok := strings.Cut(rest, "/")
+	if !ok || subject == "" {
+		return EnvFault{}, false
+	}
+	f := EnvFault{Class: EnvClass(class), Duration: EnvDuration(EnvClass(class))}
+	switch f.Class {
+	case EnvCrash:
+		f.Subject = subject
+	case EnvPartition:
+		a, b, ok := strings.Cut(subject, "~")
+		if !ok || a == "" || b == "" {
+			return EnvFault{}, false
+		}
+		f.Subject, f.Peer = a, b
+	case EnvDrop, EnvDelay:
+		from, to, ok := strings.Cut(subject, ">")
+		if !ok || from == "" || to == "" {
+			return EnvFault{}, false
+		}
+		f.Subject, f.Peer = from, to
+	default:
+		return EnvFault{}, false
+	}
+	return f, true
+}
+
+// envCarrier is implemented by plans that can report whether any of
+// their candidate instances address env pseudo-sites.
+type envCarrier interface{ carriesEnv() bool }
+
+func (p exactPlan) carriesEnv() bool { return IsEnvSite(p.inst.Site) }
+
+func (p windowPlan) carriesEnv() bool {
+	for c := range p.candidates {
+		if IsEnvSite(c.Site) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *multiPlan) carriesEnv() bool {
+	for _, sub := range p.plans {
+		if PlanCarriesEnv(sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// PlanCarriesEnv reports whether a plan's candidates include any env
+// pseudo-site instance. Plans that do not implement the check are
+// conservatively assumed to carry env instances, so custom plans work
+// under replay without extra wiring.
+func PlanCarriesEnv(p Plan) bool {
+	if p == nil {
+		return false
+	}
+	if c, ok := p.(envCarrier); ok {
+		return c.carriesEnv()
+	}
+	return true
+}
+
+// envActive reports whether env pseudo-sites are reached (counted,
+// traced, injectable) this run. Counting is gated so that runs without
+// env faults keep byte-identical traces and occurrence counts with
+// pre-env builds; a plan that carries env instances force-enables
+// counting so deterministic replay of an env script needs no flag.
+func (r *Runtime) envActive() bool { return r.EnvEnabled || r.envAuto }
+
+// ReachEnv is the environment analog of Reach, called by the network
+// once per (message, env site) pair. It records the dynamic occurrence
+// and returns the EnvFault to execute if the plan injects here. When
+// env faults are not enabled for the run it is a no-op returning false.
+func (r *Runtime) ReachEnv(site string) (EnvFault, bool) {
+	if !r.envActive() {
+		return EnvFault{}, false
+	}
+	f, ok := ParseEnvSite(site)
+	if !ok {
+		return EnvFault{}, false
+	}
+	r.counts[site]++
+	occ := r.counts[site]
+	r.kinds[site] = EnvKind(f.Class)
+
+	inject := false
+	if r.plan != nil && len(r.injected) < r.budget {
+		start := time.Now()
+		inject = r.plan.Decide(site, occ)
+		r.decNanos += time.Since(start).Nanoseconds()
+		r.decisions++
+	}
+
+	if r.KeepTrace || inject {
+		ev := TraceEvent{Site: site, Occurrence: occ, Injected: inject}
+		if r.LogPos != nil {
+			ev.LogPos = r.LogPos()
+		}
+		if r.Thread != nil {
+			ev.Thread = r.Thread()
+		}
+		if r.Now != nil {
+			ev.Time = r.Now()
+		}
+		if r.KeepTrace {
+			r.trace = append(r.trace, ev)
+		}
+		if inject {
+			r.injected = append(r.injected, ev)
+		}
+	}
+
+	if !inject {
+		return EnvFault{}, false
+	}
+	f.Occurrence = occ
+	return f, true
+}

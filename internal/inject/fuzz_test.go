@@ -124,6 +124,117 @@ func FuzzWindowPlan(f *testing.F) {
 	})
 }
 
+// fuzzEnvSite maps a byte onto a small env pseudo-site alphabet covering
+// every class, always in EnvSiteID's canonical form.
+func fuzzEnvSite(b byte) string {
+	node := func(x byte) string { return fmt.Sprintf("n%d", x%3) }
+	switch b % 4 {
+	case 0:
+		return EnvSiteID(EnvCrash, node(b>>2), "")
+	case 1:
+		return EnvSiteID(EnvPartition, node(b>>2), node(b>>4))
+	case 2:
+		return EnvSiteID(EnvDrop, node(b>>2), node(b>>4))
+	default:
+		return EnvSiteID(EnvDelay, node(b>>2), node(b>>4))
+	}
+}
+
+func FuzzEnvPlan(f *testing.F) {
+	f.Add([]byte{1, 9, 17, 0}, []byte{1, 2, 3, 1, 1})
+	f.Add([]byte{}, []byte{0, 0, 0})
+	f.Add([]byte{4, 8, 16, 32, 64}, []byte{4, 4, 8, 8, 16, 16})
+	f.Fuzz(func(t *testing.T, candBytes, reaches []byte) {
+		if len(candBytes) > 64 || len(reaches) > 512 {
+			t.Skip("keep the search space small")
+		}
+		// Candidates mix env pseudo-sites and dotted error-return sites in
+		// one window, like a combined-class search round.
+		cands := make([]Instance, 0, len(candBytes))
+		inWindow := map[Instance]bool{}
+		carriesEnv := false
+		for i, b := range candBytes {
+			site := fuzzSite(b)
+			if i%2 == 0 {
+				site = fuzzEnvSite(b)
+				carriesEnv = true
+			}
+			inst := Instance{Site: site, Occurrence: fuzzOcc(b >> 3)}
+			cands = append(cands, inst)
+			inWindow[inst] = true
+		}
+		plan := Window(cands)
+		if PlanCarriesEnv(plan) != carriesEnv {
+			t.Fatalf("PlanCarriesEnv=%v, candidates carry env: %v", PlanCarriesEnv(plan), carriesEnv)
+		}
+
+		// Decide is pure across both site shapes.
+		for _, b := range reaches {
+			for _, site := range []string{fuzzSite(b), fuzzEnvSite(b)} {
+				occ := fuzzOcc(b >> 3)
+				want := inWindow[Instance{Site: site, Occurrence: occ}]
+				if plan.Decide(site, occ) != want || plan.Decide(site, occ) != want {
+					t.Fatalf("Decide(%s,%d) not idempotent or wrong (want %v)", site, occ, want)
+				}
+			}
+		}
+
+		// Through the runtime: interleave error-return reaches with env
+		// reaches. A plan carrying env instances self-activates ReachEnv;
+		// nothing fires twice for one (site, occ) and the budget holds.
+		r := NewRuntime(plan)
+		counts := map[string]int{}
+		seen := map[Instance]bool{}
+		fired := 0
+		for _, b := range reaches {
+			site := fuzzSite(b)
+			counts[site]++
+			if err := r.Reach(site, IO); err != nil {
+				inst := Instance{Site: site, Occurrence: counts[site]}
+				if seen[inst] {
+					t.Fatalf("site plan fired twice for %s#%d", inst.Site, inst.Occurrence)
+				}
+				seen[inst] = true
+				fired++
+			}
+			env := fuzzEnvSite(b)
+			envFault, ok := r.ReachEnv(env)
+			if ok {
+				if !carriesEnv {
+					t.Fatalf("env injection %s from a plan with no env candidates", env)
+				}
+				counts[env]++
+				inst := Instance{Site: env, Occurrence: counts[env]}
+				if !inWindow[inst] {
+					t.Fatalf("env injection %s#%d not in the window", env, counts[env])
+				}
+				if seen[inst] {
+					t.Fatalf("env plan fired twice for %s#%d", inst.Site, inst.Occurrence)
+				}
+				seen[inst] = true
+				fired++
+				if envFault.Site() != env || envFault.Occurrence != counts[env] {
+					t.Fatalf("env fault %+v does not round-trip site %s#%d", envFault, env, counts[env])
+				}
+				if envFault.Duration != EnvDuration(envFault.Class) {
+					t.Fatalf("env fault duration %v, want class default %v", envFault.Duration, EnvDuration(envFault.Class))
+				}
+			} else if carriesEnv {
+				counts[env]++ // ReachEnv counted it; mirror for the oracle below
+				if inWindow[Instance{Site: env, Occurrence: counts[env]}] && fired == 0 {
+					t.Fatalf("first window hit %s#%d did not inject", env, counts[env])
+				}
+			}
+		}
+		if fired > 1 {
+			t.Fatalf("window fired %d times, budget is 1", fired)
+		}
+		if len(r.InjectedAll()) != fired {
+			t.Fatalf("runtime recorded %d injections, saw %d", len(r.InjectedAll()), fired)
+		}
+	})
+}
+
 func FuzzMultiPlan(f *testing.F) {
 	f.Add([]byte{1, 9, 100}, []byte{1, 2, 3, 1, 4, 5, 1})
 	f.Add([]byte{0}, []byte{0, 0, 0, 0})

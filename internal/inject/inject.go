@@ -228,6 +228,15 @@ type Runtime struct {
 	// keeps the full trace (the explorer needs the instance timeline);
 	// injection rounds can disable it to keep rounds cheap, as §7 does.
 	KeepTrace bool
+
+	// EnvEnabled opts the run into environment pseudo-sites (see env.go):
+	// when false — the default — ReachEnv neither counts nor traces, so
+	// site-only runs keep byte-identical traces and occurrence counts.
+	EnvEnabled bool
+
+	// envAuto force-activates env sites when the plan itself carries env
+	// instances, so replaying an env reproduction script needs no flag.
+	envAuto bool
 }
 
 // NewRuntime creates an injection runtime executing the given plan
@@ -245,6 +254,7 @@ func NewRuntime(plan Plan) *Runtime {
 		counts:    make(map[string]int),
 		kinds:     make(map[string]Kind),
 		KeepTrace: true,
+		envAuto:   PlanCarriesEnv(plan),
 	}
 }
 

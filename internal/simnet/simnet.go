@@ -45,6 +45,13 @@ type Net struct {
 	handlers       map[string]map[string]endpoint
 	down           map[string]bool
 	partitioned    map[[2]string]bool
+
+	// OnCrash, when set, executes a node-crash environment fault: take
+	// the node down, tear down its runtime state, and restart it with
+	// recovered state after restartAfter elapses. cluster.NewEnv wires it
+	// to the registered node controls; when nil the net itself toggles
+	// the node's down-state around the outage.
+	OnCrash func(node string, restartAfter des.Time)
 }
 
 // New creates a network. Latency of each delivery is uniform in
@@ -77,10 +84,21 @@ func (n *Net) Handle(node, msgType, actor string, h Handler) {
 func (n *Net) SetDown(node string, down bool) { n.down[node] = down }
 
 // Partition cuts (or restores) connectivity between a pair of nodes.
+// Healing deletes the pair's entries rather than storing false, so long
+// chaos runs with many cut/heal cycles don't grow the map unboundedly.
 func (n *Net) Partition(a, b string, cut bool) {
-	n.partitioned[[2]string{a, b}] = cut
-	n.partitioned[[2]string{b, a}] = cut
+	if !cut {
+		delete(n.partitioned, [2]string{a, b})
+		delete(n.partitioned, [2]string{b, a})
+		return
+	}
+	n.partitioned[[2]string{a, b}] = true
+	n.partitioned[[2]string{b, a}] = true
 }
+
+// Partitions returns how many directed pair entries are currently cut —
+// exposed so tests can assert heals fully retire their entries.
+func (n *Net) Partitions() int { return len(n.partitioned) }
 
 func (n *Net) latency() des.Time {
 	return n.minLat + n.sim.Jitter(n.maxLat-n.minLat+1)
@@ -97,12 +115,85 @@ func (n *Net) reachability(from, to string) error {
 	return nil
 }
 
+// applyEnv reaches every environment pseudo-site relevant to one
+// message, in a fixed order — crash(from), crash(to), partition(pair),
+// drop(channel), delay(channel) — so env occurrences are measured
+// against a deterministic per-run event counter (one tick per message
+// per site). It executes whichever env fault the plan injects and
+// reports the message-level effect: drop the message silently, or add
+// extra delivery latency. Crash and partition effects are not returned;
+// they land in the down/partitioned state that reachability reads next.
+// When env faults are disabled for the run every ReachEnv is a no-op.
+func (n *Net) applyEnv(from, to string) (drop bool, extra des.Time) {
+	if f, ok := n.fi.ReachEnv(inject.EnvSiteID(inject.EnvCrash, from, "")); ok {
+		n.crashNode(f)
+		return true, 0 // the sender died mid-send; the message is lost with it
+	}
+	if to != from {
+		if f, ok := n.fi.ReachEnv(inject.EnvSiteID(inject.EnvCrash, to, "")); ok {
+			n.crashNode(f) // reachability sees the receiver down
+		}
+		if f, ok := n.fi.ReachEnv(inject.EnvSiteID(inject.EnvPartition, from, to)); ok {
+			n.cutPair(f) // reachability sees the fresh cut
+		}
+	}
+	if f, ok := n.fi.ReachEnv(inject.EnvSiteID(inject.EnvDrop, from, to)); ok {
+		n.logMarker(f)
+		return true, 0
+	}
+	if f, ok := n.fi.ReachEnv(inject.EnvSiteID(inject.EnvDelay, from, to)); ok {
+		n.logMarker(f)
+		return false, f.Duration
+	}
+	return false, 0
+}
+
+// logMarker emits the injection marker line for an executed env fault.
+// The text comes from inject.EnvMarker so the explorer's marker-match
+// ranking sees exactly what the network logs.
+func (n *Net) logMarker(f inject.EnvFault) {
+	if m, ok := inject.EnvMarker(f.Site()); ok {
+		n.log.Warnf("%s", m)
+	}
+}
+
+// crashNode executes an injected crash fault.
+func (n *Net) crashNode(f inject.EnvFault) {
+	n.logMarker(f)
+	if n.OnCrash != nil {
+		n.OnCrash(f.Subject, f.Duration)
+		return
+	}
+	n.down[f.Subject] = true
+	n.sim.Schedule("env-restart", f.Duration, func() {
+		n.down[f.Subject] = false
+		n.log.Infof("env: node %s restarted", f.Subject)
+	})
+}
+
+// cutPair executes an injected partition fault: a symmetric cut that
+// heals itself after the fault's duration.
+func (n *Net) cutPair(f inject.EnvFault) {
+	n.logMarker(f)
+	n.Partition(f.Subject, f.Peer, true)
+	n.sim.Schedule("env-heal", f.Duration, func() {
+		n.Partition(f.Subject, f.Peer, false)
+		n.log.Infof("env: partition %s/%s healed", f.Subject, f.Peer)
+	})
+}
+
 // Send transmits a one-way message. site is the sender-side fault site; an
 // injected fault (or an unreachable peer) is returned synchronously, and the
-// message is not delivered.
+// message is not delivered. Environment faults differ: a dropped message
+// (or one lost to the sender's own crash) returns nil — the sender
+// believes it sent.
 func (n *Net) Send(site string, msg Message) error {
 	if err := n.fi.Reach(site, inject.Socket); err != nil {
 		return err
+	}
+	drop, extra := n.applyEnv(msg.From, msg.To)
+	if drop {
+		return nil
 	}
 	if err := n.reachability(msg.From, msg.To); err != nil {
 		return err
@@ -111,7 +202,7 @@ func (n *Net) Send(site string, msg Message) error {
 	if !ok {
 		return fmt.Errorf("simnet: %s has no handler for %s", msg.To, msg.Type)
 	}
-	n.sim.Schedule(ep.actor, n.latency(), func() {
+	n.sim.Schedule(ep.actor, n.latency()+extra, func() {
 		if n.down[msg.To] {
 			return
 		}
@@ -137,6 +228,7 @@ func (n *Net) Call(site string, msg Message, timeout des.Time, cont func(payload
 		finish(nil, err)
 		return
 	}
+	drop, extra := n.applyEnv(msg.From, msg.To)
 	if err := n.reachability(msg.From, msg.To); err != nil {
 		finish(nil, err)
 		return
@@ -158,7 +250,13 @@ func (n *Net) Call(site string, msg Message, timeout des.Time, cont func(payload
 			cont(nil, &inject.Fault{Kind: inject.Timeout, Site: "env.net.rpc-timeout"})
 		})
 	}
+	if drop {
+		return // request lost in the environment; caller times out
+	}
 	respond := func(payload interface{}, err error) {
+		if n.down[msg.To] {
+			return // responder went down before responding; caller times out
+		}
 		n.sim.Schedule(caller, n.latency(), func() {
 			if done {
 				return
@@ -170,7 +268,7 @@ func (n *Net) Call(site string, msg Message, timeout des.Time, cont func(payload
 			cont(payload, err)
 		})
 	}
-	n.sim.Schedule(ep.actor, n.latency(), func() {
+	n.sim.Schedule(ep.actor, n.latency()+extra, func() {
 		if n.down[msg.To] {
 			return // request lost; caller times out
 		}

@@ -84,6 +84,71 @@ func TestPartition(t *testing.T) {
 	}
 }
 
+// TestPartitionHealRetiresEntries pins the map hygiene of heal: cutting
+// stores two directed entries per pair and healing deletes them, so a
+// long chaos run of cut/heal cycles cannot grow the partitioned map.
+func TestPartitionHealRetiresEntries(t *testing.T) {
+	_, _, net := newNet(nil)
+	net.Partition("a", "b", true)
+	net.Partition("b", "c", true)
+	if got := net.Partitions(); got != 4 {
+		t.Fatalf("after two cuts: %d directed entries, want 4", got)
+	}
+	net.Partition("b", "a", false) // heal is order-insensitive
+	if got := net.Partitions(); got != 2 {
+		t.Fatalf("after one heal: %d directed entries, want 2", got)
+	}
+	net.Partition("b", "c", false)
+	if got := net.Partitions(); got != 0 {
+		t.Fatalf("after healing everything: %d directed entries, want 0", got)
+	}
+	// Healing an uncut pair is a no-op, not a stale false entry.
+	net.Partition("x", "y", false)
+	if got := net.Partitions(); got != 0 {
+		t.Fatalf("healing an uncut pair left %d entries", got)
+	}
+}
+
+// TestCallTimeoutWhenServerCrashesMidFlight covers the race the env-fault
+// layer leans on: the request is delivered and the handler runs, but the
+// server goes down before its response leaves. The caller must observe a
+// timeout — not a silent drop, not the response — exactly once, at a
+// deterministic virtual time.
+func TestCallTimeoutWhenServerCrashesMidFlight(t *testing.T) {
+	run := func() (calls int, err error, at des.Time) {
+		sim, _, net := newNet(nil)
+		net.Handle("srv", "add", "srv-rpc", func(m Message, respond func(interface{}, error)) {
+			net.SetDown("srv", true) // crash between delivery and respond
+			respond(41, nil)
+		})
+		sim.Go("cli-main", func() {
+			net.Call("cli.add.call", Message{From: "cli", To: "srv", Type: "add"},
+				100*des.Millisecond, func(_ interface{}, e error) {
+					calls++
+					err = e
+					at = sim.Now()
+				})
+		})
+		sim.Run(des.Second)
+		return calls, err, at
+	}
+	calls, err, at := run()
+	if calls != 1 {
+		t.Fatalf("continuation ran %d times, want 1", calls)
+	}
+	if !errors.Is(err, inject.KindErr(inject.Timeout)) {
+		t.Fatalf("err=%v, want timeout", err)
+	}
+	if at != 100*des.Millisecond {
+		t.Fatalf("timeout fired at %v, want the 100ms deadline", at)
+	}
+	// Virtual time stays deterministic across identical runs.
+	calls2, err2, at2 := run()
+	if calls2 != calls || !errors.Is(err2, inject.KindErr(inject.Timeout)) || at2 != at {
+		t.Fatalf("second run diverged: calls=%d err=%v at=%v", calls2, err2, at2)
+	}
+}
+
 func TestCallRoundTrip(t *testing.T) {
 	sim, _, net := newNet(nil)
 	net.Handle("srv", "add", "srv-rpc", func(m Message, respond func(interface{}, error)) {

@@ -58,11 +58,21 @@ type Cluster struct {
 	n       int
 }
 
-// NewCluster creates (but does not start) an n-server ensemble.
+// NewCluster creates (but does not start) an n-server ensemble. Every
+// server is registered for crash/restart environment faults: a crash
+// kills the current incarnation's loops without graceful shutdown, and
+// the restart boots a fresh incarnation from the surviving on-disk state.
 func NewCluster(env *cluster.Env, n int) *Cluster {
 	c := &Cluster{env: env, n: n}
 	for i := 1; i <= n; i++ {
 		c.Servers = append(c.Servers, newServer(c, i))
+	}
+	for i := 1; i <= n; i++ {
+		id := i
+		env.RegisterNode(fmt.Sprintf("zk%d", id), cluster.NodeControl{
+			Crash:   func() { c.Servers[id-1].crash() },
+			Restart: func() { c.reincarnate(id) },
+		})
 	}
 	return c
 }
@@ -92,6 +102,14 @@ func (c *Cluster) Leader() (*Server, bool) {
 func (c *Cluster) Restart(id int) {
 	old := c.Servers[id-1]
 	old.stop()
+	c.reincarnate(id)
+}
+
+// reincarnate boots a fresh incarnation of server id from its on-disk
+// state without gracefully stopping the old one — the restart half of a
+// crash environment fault, where the dead incarnation has nothing left
+// to say.
+func (c *Cluster) reincarnate(id int) {
 	fresh := newServer(c, id)
 	c.Servers[id-1] = fresh
 	fresh.start()
@@ -210,6 +228,11 @@ func (s *Server) stop() {
 	s.stopped = true
 	s.env().Log.Infof("Shutting down quorum peer myid=%d", s.id)
 }
+
+// crash models a process kill: the incarnation's loops stop, and unlike
+// stop there is no graceful-shutdown logging — a killed process says
+// nothing on the way down.
+func (s *Server) crash() { s.stopped = true }
 
 func (s *Server) msg(to, typ string, payload interface{}) simnet.Message {
 	return simnet.Message{From: s.name, To: to, Type: typ, Payload: payload}

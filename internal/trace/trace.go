@@ -42,6 +42,11 @@ const (
 	Decision EventType = "decision"
 	// Injected records the reach at which the round's fault fired.
 	Injected EventType = "injected"
+	// EnvInjected records an environment-fault injection (node crash,
+	// pairwise partition, message drop/delay) in place of Injected: the
+	// same site/occ/satisfied fields plus the decoded class, subject
+	// node(s) and virtual-time duration of the fault's stateful phase.
+	EnvInjected EventType = "env_injected"
 	// WindowGrow records an empty round: no candidate occurred, so the
 	// flexible window doubled (clamped to the candidate-instance count).
 	WindowGrow EventType = "window_grow"
@@ -182,9 +187,18 @@ type Event struct {
 	Bumped  []ObsPriority `json:"bumped,omitempty"`
 	Deltas  []SiteDelta   `json:"deltas,omitempty"`
 
-	// Inconclusive: the failure class (cluster.Class*) and detail.
+	// Inconclusive: the failure class (cluster.Class*) and detail, plus
+	// the subject identifiers of the failed trial — the seed it ran
+	// under and, for panics, the actor (node thread) that was executing.
+	// Class is shared with EnvInjected, where it carries the env class.
 	Class  string `json:"class,omitempty"`
 	Detail string `json:"detail,omitempty"`
+	Actor  string `json:"actor,omitempty"`
+
+	// EnvInjected: subject node(s) and virtual-time duration.
+	Subject string `json:"subject,omitempty"`
+	Peer    string `json:"peer,omitempty"`
+	Dur     int64  `json:"dur,omitempty"`
 
 	// Outcome.
 	Reproduced bool   `json:"reproduced,omitempty"`
@@ -277,7 +291,7 @@ func AggregateStats(events []Event) Stats {
 			s.WindowSizes[ev.Window]++
 		case Decision:
 			s.DecisionSz[ev.CandidateCount]++
-		case Injected:
+		case Injected, EnvInjected:
 			s.Injections++
 			s.SiteTrials[ev.Site]++
 		case WindowGrow:
