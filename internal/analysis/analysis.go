@@ -36,6 +36,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"anduril/internal/graph"
@@ -81,12 +82,71 @@ type Result struct {
 	SourceHash string
 
 	siteKinds map[string]inject.Kind
+
+	// cache holds derived artifacts computed on first use and shared by
+	// every reproduction over this Result. It sits behind a pointer so
+	// Result values stay copyable (copies share the cache — they describe
+	// the same analysis). Both artifacts are pure functions of the
+	// analysis, so caching changes nothing observable — it only stops
+	// each Reproduce call from recomputing a BFS table and recompiling
+	// template regexps.
+	cache *derivedCache
+}
+
+// derivedCache memoizes per-Result derived artifacts. Guarded by a mutex
+// because parallel evaluation shares Targets (and thus Results) across
+// goroutines.
+type derivedCache struct {
+	mu      sync.Mutex
+	dist    map[string]map[string]int
+	matcher *Matcher
 }
 
 // SiteKind returns the fault kind of a static site.
 func (r *Result) SiteKind(id string) (inject.Kind, bool) {
 	k, ok := r.siteKinds[id]
 	return k, ok
+}
+
+// SiteDistances returns the L_{i,k} site→template distance table of the
+// causal graph, computed once per Result. The returned map is shared:
+// callers must treat it as read-only.
+func (r *Result) SiteDistances() map[string]map[string]int {
+	c := r.cache
+	if c == nil {
+		// Zero-value Result (hand-built in tests): compute uncached.
+		return r.Graph.SiteDistances()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dist == nil {
+		c.dist = r.Graph.SiteDistances()
+	}
+	return c.dist
+}
+
+// Matcher returns the template matcher over this result's log templates,
+// compiled once per Result and safe for concurrent use (Match does not
+// mutate the matcher).
+func (r *Result) Matcher() *Matcher {
+	c := r.cache
+	if c == nil {
+		return r.newMatcher()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.matcher == nil {
+		c.matcher = r.newMatcher()
+	}
+	return c.matcher
+}
+
+func (r *Result) newMatcher() *Matcher {
+	templates := make([]string, len(r.Logs))
+	for i, l := range r.Logs {
+		templates[i] = l.Template
+	}
+	return NewMatcher(templates)
 }
 
 // RepoRoot locates the module root so callers can hand source directories
@@ -197,6 +257,7 @@ func AnalyzePackages(dirs []string) (*Result, error) {
 		LOC:        loc,
 		SourceHash: hex.EncodeToString(hasher.Sum(nil)),
 		siteKinds:  a.siteKinds,
+		cache:      &derivedCache{},
 	}
 	res.Timing = Timing{
 		Exception: exception,

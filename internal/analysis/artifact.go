@@ -116,6 +116,7 @@ func Load(path string) (*Result, error) {
 		Timing:     art.Timing,
 		SourceHash: art.SourceHash,
 		siteKinds:  make(map[string]inject.Kind, len(art.Sites)),
+		cache:      &derivedCache{},
 	}
 	for _, s := range art.Sites {
 		res.siteKinds[s.ID] = s.Kind

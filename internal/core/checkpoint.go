@@ -26,7 +26,6 @@ package core
 import (
 	"encoding/json"
 	"fmt"
-	"sort"
 	"time"
 
 	"anduril/internal/checkpoint"
@@ -99,15 +98,10 @@ func (e *engine) snapshotState(round, window int) *searchState {
 		st.Priorities[i] = o.priority
 	}
 	for _, s := range e.sites {
-		if len(s.tried) == 0 {
+		if s.tried.Len() == 0 {
 			continue
 		}
-		occs := make([]int, 0, len(s.tried))
-		for occ := range s.tried {
-			occs = append(occs, occ)
-		}
-		sort.Ints(occs)
-		st.Tried[s.id] = occs
+		st.Tried[s.id] = s.tried.Occurrences()
 	}
 	return st
 }
@@ -195,7 +189,7 @@ func (e *engine) applyState() error {
 			return fmt.Errorf("core: checkpoint tried unknown site %q — target or dataset changed", site)
 		}
 		for _, occ := range occs {
-			s.tried[occ] = true
+			s.tried.Add(occ)
 		}
 	}
 	e.startRound = st.Round

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
 	"time"
 
 	"anduril/internal/cluster"
@@ -29,11 +30,56 @@ type instance struct {
 	alignedPos float64 // position mapped onto the failure-log timeline
 }
 
+// triedSet tracks which occurrences of a site have been injected. It is a
+// dense bitset: occurrence numbers are small (bounded by how often the
+// site fires in a run), and the selection loop probes the set for every
+// untried instance on every round, so the constant-time word test replaces
+// a map probe on the search hot path. The zero value is an empty set.
+type triedSet struct {
+	words []uint64
+	n     int
+}
+
+// Has reports whether occ is in the set.
+func (t *triedSet) Has(occ int) bool {
+	w := occ >> 6
+	return w < len(t.words) && t.words[w]&(1<<(uint(occ)&63)) != 0
+}
+
+// Add inserts occ, reporting whether it was newly added.
+func (t *triedSet) Add(occ int) bool {
+	w := occ >> 6
+	for w >= len(t.words) {
+		t.words = append(t.words, 0)
+	}
+	bit := uint64(1) << (uint(occ) & 63)
+	if t.words[w]&bit != 0 {
+		return false
+	}
+	t.words[w] |= bit
+	t.n++
+	return true
+}
+
+// Len returns the number of occurrences in the set.
+func (t *triedSet) Len() int { return t.n }
+
+// Occurrences returns the set's members in ascending order.
+func (t *triedSet) Occurrences() []int {
+	out := make([]int, 0, t.n)
+	for w, word := range t.words {
+		for ; word != 0; word &= word - 1 {
+			out = append(out, w<<6+bits.TrailingZeros64(word))
+		}
+	}
+	return out
+}
+
 // siteState is the explorer's view of one static fault site f_i.
 type siteState struct {
 	id        string
 	instances []instance
-	tried     map[int]bool
+	tried     triedSet
 
 	// marker is the sanitized injection-marker line for env pseudo-sites
 	// ("" otherwise): an observable equal to it is direct failure-log
@@ -67,6 +113,15 @@ type engine struct {
 	align     *logdiff.Alignment
 
 	sumBest map[string]float64 // sum-aggregation ablation bookkeeping
+
+	// Per-round scratch, reused across the thousands of rounds a search
+	// runs: the ranking snapshot, the candidate window, the multiply-
+	// feedback pair buffer, and the missing-observable vector. Each is
+	// valid only until the next round recomputes it.
+	rankedBuf []*siteState
+	candBuf   []inject.Instance
+	pairBuf   []scoredPair
+	missBuf   []bool
 
 	// baked faults are injected in every run of this pass (iterative
 	// multi-fault reproduction); the search explores candidates on top.
@@ -467,10 +522,9 @@ func (e *engine) recordInconclusive(a attempt, window int) {
 
 func (e *engine) markTried(inst inject.Instance) {
 	s, ok := e.siteIndex[inst.Site]
-	if !ok || s.tried[inst.Occurrence] {
+	if !ok || !s.tried.Add(inst.Occurrence) {
 		return
 	}
-	s.tried[inst.Occurrence] = true
 	if !inject.IsEnvSite(inst.Site) {
 		e.triedSite++
 	}

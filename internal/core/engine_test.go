@@ -35,7 +35,6 @@ func stubEngine(o Options) *engine {
 		e.sites = append(e.sites, &siteState{
 			id:        id,
 			instances: []instance{{occ: 1, alignedPos: 90}, {occ: 2, alignedPos: 195}, {occ: 3, alignedPos: 400}},
-			tried:     map[int]bool{},
 		})
 	}
 	return e
@@ -124,19 +123,21 @@ func TestBestUntriedTemporalVsOrder(t *testing.T) {
 	if !ok || inst.occ != 1 {
 		t.Fatalf("temporal best: %+v ok=%v", inst, ok)
 	}
-	near.tried[1] = true
+	near.tried.Add(1)
 	inst, _ = e.bestUntried(near, true, 0)
 	if inst.occ != 2 {
 		t.Fatalf("after trying occ1: %+v", inst)
 	}
 	// Order mode ignores alignment: lowest untried occurrence.
-	near.tried = map[int]bool{}
+	near.tried = triedSet{}
 	inst, _ = e.bestUntried(near, false, 0)
 	if inst.occ != 1 {
 		t.Fatalf("order best: %+v", inst)
 	}
 	// Instance limit hides occurrences beyond the cap.
-	near.tried = map[int]bool{1: true, 2: true}
+	near.tried = triedSet{}
+	near.tried.Add(1)
+	near.tried.Add(2)
 	if _, ok := e.bestUntried(near, false, 2); ok {
 		t.Fatal("limit 2 should exhaust after two occurrences")
 	}
@@ -272,8 +273,8 @@ func TestMarkTriedIndex(t *testing.T) {
 	e.markTried(inject.Instance{Site: "no.such.site", Occurrence: 1})
 	for _, s := range e.sites {
 		want := s.id == "s.near"
-		if s.tried[2] != want {
-			t.Fatalf("site %s tried[2]=%v want %v", s.id, s.tried[2], want)
+		if s.tried.Has(2) != want {
+			t.Fatalf("site %s tried.Has(2)=%v want %v", s.id, s.tried.Has(2), want)
 		}
 	}
 }

@@ -61,7 +61,7 @@ func (e *engine) feedbackLoop(spec feedbackSpec) {
 			}
 			snap := make([]trace.SiteRank, len(top))
 			for i, s := range top {
-				sr := trace.SiteRank{Site: s.id, F: trace.Float(s.f), Tried: len(s.tried)}
+				sr := trace.SiteRank{Site: s.id, F: trace.Float(s.f), Tried: s.tried.Len()}
 				if s.bestObs >= 0 {
 					sr.BestObs = obsLabel(e.obs[s.bestObs])
 				}
@@ -217,7 +217,10 @@ func (e *engine) traceFeedback(rk ranker, round, missing int, bumped []trace.Obs
 // missingIn reports, per relevant observable, whether it is missing from
 // ALL of the given run logs (Algorithm 2's COMPARE over combined logs).
 func (e *engine) missingIn(results []*cluster.Result) []bool {
-	miss := make([]bool, len(e.obs))
+	if cap(e.missBuf) < len(e.obs) {
+		e.missBuf = make([]bool, len(e.obs))
+	}
+	miss := e.missBuf[:len(e.obs)]
 	for i := range miss {
 		miss[i] = true
 	}

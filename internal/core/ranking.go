@@ -157,11 +157,26 @@ func siteLess(a, b *siteState) bool {
 	return a.id < b.id
 }
 
-// rankedSites returns sites ordered by F ascending (name as tiebreak).
+// siteSorter sorts sites by (F, id). The concrete sort.Interface avoids
+// the closure and reflection-based swapper sort.Slice allocates per call;
+// the order is a strict total one, so any sorting algorithm yields the
+// identical ranking.
+type siteSorter []*siteState
+
+func (s siteSorter) Len() int           { return len(s) }
+func (s siteSorter) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+func (s siteSorter) Less(i, j int) bool { return siteLess(s[i], s[j]) }
+
+// rankedSites returns sites ordered by F ascending (name as tiebreak),
+// reusing the engine's ranking buffer. The result is valid until the next
+// rankedSites call on the same engine.
 func (e *engine) rankedSites() []*siteState {
-	out := make([]*siteState, len(e.sites))
+	if cap(e.rankedBuf) < len(e.sites) {
+		e.rankedBuf = make([]*siteState, len(e.sites))
+	}
+	out := e.rankedBuf[:len(e.sites)]
 	copy(out, e.sites)
-	sort.SliceStable(out, func(i, j int) bool { return siteLess(out[i], out[j]) })
+	sort.Sort(siteSorter(out))
 	return out
 }
 
@@ -224,12 +239,21 @@ type indexRanker struct {
 	dirty    []*siteState   // sites whose F may have changed
 	dirtySet map[*siteState]bool
 	built    bool
+
+	// keepBuf and spare are reused across updates: keepBuf collects the
+	// clean prefix of the old order, spare receives the merge, and the old
+	// order's backing array becomes the next update's spare. Each round's
+	// re-rank therefore allocates nothing once the buffers reach steady
+	// size.
+	keepBuf []*siteState
+	spare   []*siteState
 }
 
 func (r *indexRanker) build() {
 	e := r.e
 	e.computePriorities(true, r.useFeedback)
-	r.order = e.rankedSites()
+	// Copy out of the engine's shared ranking buffer: order is long-lived.
+	r.order = append([]*siteState(nil), e.rankedSites()...)
 	r.obsSites = make([][]*siteState, len(e.obs))
 	for _, s := range e.sites {
 		if inject.IsEnvSite(s.id) {
@@ -277,14 +301,17 @@ func (r *indexRanker) ranked() []*siteState {
 	for _, s := range r.dirty {
 		r.e.rescoreSite(s, true, r.useFeedback)
 	}
-	keep := make([]*siteState, 0, len(r.order)-len(r.dirty))
+	keep := r.keepBuf[:0]
 	for _, s := range r.order {
 		if !r.dirtySet[s] {
 			keep = append(keep, s)
 		}
 	}
-	sort.Slice(r.dirty, func(i, j int) bool { return siteLess(r.dirty[i], r.dirty[j]) })
-	r.order = mergeRanked(keep, r.dirty)
+	r.keepBuf = keep
+	sort.Sort(siteSorter(r.dirty))
+	merged := mergeRanked(r.spare[:0], keep, r.dirty)
+	r.spare = r.order[:0]
+	r.order = merged
 	r.dirty = r.dirty[:0]
 	for s := range r.dirtySet {
 		delete(r.dirtySet, s)
@@ -292,19 +319,18 @@ func (r *indexRanker) ranked() []*siteState {
 	return r.order
 }
 
-// mergeRanked merges two (F, id)-sorted site lists into one.
-func mergeRanked(a, b []*siteState) []*siteState {
-	out := make([]*siteState, 0, len(a)+len(b))
+// mergeRanked merges two (F, id)-sorted site lists into dst.
+func mergeRanked(dst, a, b []*siteState) []*siteState {
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		if siteLess(a[i], b[j]) {
-			out = append(out, a[i])
+			dst = append(dst, a[i])
 			i++
 		} else {
-			out = append(out, b[j])
+			dst = append(dst, b[j])
 			j++
 		}
 	}
-	out = append(out, a[i:]...)
-	return append(out, b[j:]...)
+	dst = append(dst, a[i:]...)
+	return append(dst, b[j:]...)
 }

@@ -36,7 +36,6 @@ func synthEngine(nSites, nObs int, seed int64) *engine {
 		e.sites = append(e.sites, &siteState{
 			id:        id,
 			instances: []instance{{occ: 1, alignedPos: float64(rng.Intn(1000))}},
-			tried:     map[int]bool{},
 		})
 	}
 	e.siteIndex = make(map[string]*siteState, len(e.sites))

@@ -37,7 +37,7 @@ func (e *engine) bestUntried(s *siteState, useTemporal bool, limit int) (instanc
 		if limit > 0 && i >= limit {
 			break
 		}
-		if s.tried[inst.occ] {
+		if s.tried.Has(inst.occ) {
 			continue
 		}
 		score := float64(inst.occ)
@@ -62,7 +62,7 @@ func (e *engine) bestUntried(s *siteState, useTemporal bool, limit int) (instanc
 // injects: the site search runs to exhaustion in its exact original
 // order before the env space opens.
 func (e *engine) fillWindow(ranked []*siteState, window int, useTemporal bool, limit int) []inject.Instance {
-	var candidates []inject.Instance
+	candidates := e.candBuf[:0]
 	for _, s := range ranked {
 		if len(candidates) >= window {
 			break
@@ -75,6 +75,7 @@ func (e *engine) fillWindow(ranked []*siteState, window int, useTemporal bool, l
 		}
 	}
 	if len(candidates) > 0 || !e.envClass {
+		e.candBuf = candidates
 		return candidates
 	}
 	for _, s := range ranked {
@@ -88,6 +89,7 @@ func (e *engine) fillWindow(ranked []*siteState, window int, useTemporal bool, l
 			candidates = append(candidates, inject.Instance{Site: s.id, Occurrence: inst.occ})
 		}
 	}
+	e.candBuf = candidates
 	return candidates
 }
 
@@ -95,43 +97,57 @@ func (e *engine) fillWindow(ranked []*siteState, window int, useTemporal bool, l
 // product (F_i+1) x (T_{i,j}+1) — the §8.3 "multiply feedback" variant that
 // replaces the two-level selection.
 func (e *engine) multiplyCandidates(ranked []*siteState, window int) []inject.Instance {
-	type pair struct {
-		inst  inject.Instance
-		score float64
-	}
-	var pairs []pair
+	pairs := e.pairBuf[:0]
 	for _, s := range ranked {
 		if math.IsInf(s.f, 1) {
 			continue
 		}
 		for _, inst := range s.instances {
-			if s.tried[inst.occ] {
+			if s.tried.Has(inst.occ) {
 				continue
 			}
 			t := e.temporalDistance(s, inst)
-			pairs = append(pairs, pair{
+			pairs = append(pairs, scoredPair{
 				inst:  inject.Instance{Site: s.id, Occurrence: inst.occ},
 				score: (s.f + 1) * (t + 1),
 			})
 		}
 	}
-	sort.SliceStable(pairs, func(i, j int) bool {
-		if pairs[i].score != pairs[j].score {
-			return pairs[i].score < pairs[j].score
-		}
-		if pairs[i].inst.Site != pairs[j].inst.Site {
-			return pairs[i].inst.Site < pairs[j].inst.Site
-		}
-		return pairs[i].inst.Occurrence < pairs[j].inst.Occurrence
-	})
+	e.pairBuf = pairs
+	sort.Sort(pairSorter(pairs))
 	if len(pairs) > window {
 		pairs = pairs[:window]
 	}
-	out := make([]inject.Instance, len(pairs))
-	for i, p := range pairs {
-		out[i] = p.inst
+	out := e.candBuf[:0]
+	for _, p := range pairs {
+		out = append(out, p.inst)
 	}
+	e.candBuf = out
 	return out
+}
+
+// scoredPair is a (site, occurrence) candidate with its multiply-feedback
+// score.
+type scoredPair struct {
+	inst  inject.Instance
+	score float64
+}
+
+// pairSorter orders pairs by (score, site, occurrence) — strict and total,
+// since (site, occurrence) is unique — without sort.Slice's per-call
+// allocations.
+type pairSorter []scoredPair
+
+func (s pairSorter) Len() int      { return len(s) }
+func (s pairSorter) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s pairSorter) Less(i, j int) bool {
+	if s[i].score != s[j].score {
+		return s[i].score < s[j].score
+	}
+	if s[i].inst.Site != s[j].inst.Site {
+		return s[i].inst.Site < s[j].inst.Site
+	}
+	return s[i].inst.Occurrence < s[j].inst.Occurrence
 }
 
 // growWindow doubles the flexible window (§5.2.5), clamped to the total

@@ -6,7 +6,6 @@ package core
 import (
 	"sort"
 
-	"anduril/internal/analysis"
 	"anduril/internal/cluster"
 	"anduril/internal/inject"
 	"anduril/internal/logdiff"
@@ -27,6 +26,13 @@ func (e *engine) flatten(entries []logging.Entry) []logging.Entry {
 	return out
 }
 
+// sitesByID orders candidate sites by their unique ids.
+type sitesByID []*siteState
+
+func (s sitesByID) Len() int           { return len(s) }
+func (s sitesByID) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+func (s sitesByID) Less(i, j int) bool { return s[i].id < s[j].id }
+
 // setup performs workflow steps 1-2: extract relevant observables, match
 // them to causal-graph templates, compute spatial distances and the
 // fault-instance timeline alignment.
@@ -34,11 +40,7 @@ func (e *engine) setup(free *cluster.Result) {
 	cmp := logdiff.Compare(e.flatten(free.Entries), e.flatten(e.t.FailureLog))
 	e.align = logdiff.NewAlignment(cmp, len(free.Entries), len(e.t.FailureLog))
 
-	var templates []string
-	for _, l := range e.t.Analysis.Logs {
-		templates = append(templates, l.Template)
-	}
-	matcher := analysis.NewMatcher(templates)
+	matcher := e.t.Analysis.Matcher()
 
 	for _, key := range cmp.MissingKeys() {
 		e.obs = append(e.obs, &observable{
@@ -49,8 +51,9 @@ func (e *engine) setup(free *cluster.Result) {
 	}
 	e.report.RelevantObservables = len(e.obs)
 
-	// Spatial distances L_{i,k} from the static causal graph.
-	e.dist = e.t.Analysis.Graph.SiteDistances()
+	// Spatial distances L_{i,k} from the static causal graph, computed
+	// once per analysis Result and shared read-only across reproductions.
+	e.dist = e.t.Analysis.SiteDistances()
 
 	// Candidate sites: causally connected to at least one relevant
 	// observable AND exercised by the workload (otherwise there is no
@@ -61,9 +64,20 @@ func (e *engine) setup(free *cluster.Result) {
 			relevantTemplates[t] = true
 		}
 	}
-	bySite := map[string][]instance{}
+	// Count first, then allocate each site's instance slice exactly once:
+	// free-run traces carry tens of thousands of events, and letting append
+	// grow each site's slice from scratch dominates setup's allocations.
+	counts := map[string]int{}
 	for _, ev := range free.Trace {
-		bySite[ev.Site] = append(bySite[ev.Site], instance{
+		counts[ev.Site]++
+	}
+	bySite := make(map[string][]instance, len(counts))
+	for _, ev := range free.Trace {
+		insts, ok := bySite[ev.Site]
+		if !ok {
+			insts = make([]instance, 0, counts[ev.Site])
+		}
+		bySite[ev.Site] = append(insts, instance{
 			occ:        ev.Occurrence,
 			logPos:     ev.LogPos,
 			alignedPos: e.align.Map(ev.LogPos),
@@ -86,7 +100,7 @@ func (e *engine) setup(free *cluster.Result) {
 			if len(insts) == 0 {
 				continue
 			}
-			e.sites = append(e.sites, &siteState{id: siteID, instances: insts, tried: make(map[int]bool)})
+			e.sites = append(e.sites, &siteState{id: siteID, instances: insts})
 			total += len(insts)
 		}
 	}
@@ -103,7 +117,7 @@ func (e *engine) setup(free *cluster.Result) {
 			if !inject.IsEnvSite(siteID) {
 				continue
 			}
-			st := &siteState{id: siteID, instances: insts, tried: make(map[int]bool)}
+			st := &siteState{id: siteID, instances: insts}
 			if m, ok := inject.EnvMarker(siteID); ok {
 				st.marker = logdiff.Sanitize(m)
 			}
@@ -111,7 +125,7 @@ func (e *engine) setup(free *cluster.Result) {
 			total += len(insts)
 		}
 	}
-	sort.Slice(e.sites, func(i, j int) bool { return e.sites[i].id < e.sites[j].id })
+	sort.Sort(sitesByID(e.sites))
 	e.siteIndex = make(map[string]*siteState, len(e.sites))
 	for _, s := range e.sites {
 		e.siteIndex[s.id] = s

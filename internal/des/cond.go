@@ -17,7 +17,7 @@ type Cond struct {
 type waiter struct {
 	actor   string
 	fn      func()
-	timeout func() // non-nil cancels the pending timeout event
+	timeout Timer // cancels the pending timeout event; zero is a no-op
 	fired   bool
 }
 
@@ -47,7 +47,7 @@ func (c *Cond) WaitTimeout(actor string, d Time, fn, onTimeout func()) {
 	w := &waiter{actor: actor, fn: fn}
 	c.waiters = append(c.waiters, w)
 	c.sim.markBlocked(actor, c.label)
-	cancel := c.sim.Schedule(actor, d, func() {
+	w.timeout = c.sim.ScheduleTimer(actor, d, func() {
 		if w.fired {
 			return
 		}
@@ -56,7 +56,6 @@ func (c *Cond) WaitTimeout(actor string, d Time, fn, onTimeout func()) {
 		c.sim.unmarkBlocked(actor)
 		onTimeout()
 	})
-	w.timeout = cancel
 }
 
 func (c *Cond) remove(w *waiter) {
@@ -73,9 +72,7 @@ func (c *Cond) wake(w *waiter) {
 		return
 	}
 	w.fired = true
-	if w.timeout != nil {
-		w.timeout()
-	}
+	w.timeout.Cancel()
 	c.sim.unmarkBlocked(w.actor)
 	c.sim.Go(w.actor, w.fn)
 }

@@ -13,9 +13,7 @@
 package des
 
 import (
-	"container/heap"
 	"context"
-	"fmt"
 	"math/rand"
 	"sort"
 	"time"
@@ -36,32 +34,79 @@ func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
 
 // Event is a unit of work executed at a virtual instant on behalf of a
 // named actor (the simulated thread).
+//
+// Events are pooled: once executed (or skipped as cancelled/crashed) an
+// event returns to the Sim's freelist and is reused by a later Schedule,
+// so steady-state scheduling allocates nothing. gen guards stale cancel
+// handles across reuse: each recycling bumps it, and a cancel closure
+// captured under an older generation becomes a no-op.
 type event struct {
-	at     Time
-	seq    uint64 // tie-breaker: FIFO among events at the same instant
-	actor  string
-	fn     func()
-	cancel *bool
+	at       Time
+	seq      uint64 // tie-breaker: FIFO among events at the same instant
+	gen      uint64 // reuse generation, see above
+	actor    string
+	fn       func()
+	argFn    func(interface{}) // set instead of fn by PostArg/ScheduleArg
+	arg      interface{}
+	canceled bool
 }
 
+// eventQueue is a binary min-heap ordered by (at, seq). It is hand-rolled
+// rather than container/heap because the dispatch loop pushes and pops an
+// event per simulated step: the concrete sift functions avoid the
+// interface-method calls the stdlib heap makes for every comparison and
+// swap. (at, seq) is a strict total order — seq is unique — so the pop
+// sequence is the fully sorted event order no matter how the heap was
+// shaped, exactly as before.
 type eventQueue []*event
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// eventBefore is the dispatch order: time, then scheduling sequence.
+func eventBefore(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return q[i].seq < q[j].seq
+	return a.seq < b.seq
 }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return e
+
+func (q *eventQueue) push(e *event) {
+	h := append(*q, e)
+	*q = h
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventBefore(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() *event {
+	h := *q
+	n := len(h) - 1
+	top := h[0]
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	*q = h
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && eventBefore(h[r], h[l]) {
+			m = r
+		}
+		if !eventBefore(h[m], h[i]) {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return top
 }
 
 // Sim is a single deterministic simulation run.
@@ -75,10 +120,19 @@ type Sim struct {
 	executed int
 	stopped  bool
 
+	// free is the event freelist: executed and cancelled events are
+	// recycled here instead of being left to the garbage collector. The
+	// pool is per-Sim, so runs stay hermetic and deterministic.
+	free []*event
+
 	// blocked tracks actors waiting on a Cond, keyed by actor name, with a
 	// human-readable label of what they are waiting for. It backs the
 	// "thread stuck at X" oracles.
 	blocked map[string]string
+
+	// blockedRender interns the rendered "actor: label" strings Blocked
+	// returns, so oracle polls do not re-format them on every call.
+	blockedRender map[string]map[string]string
 
 	// crashed actors refuse further events; used to model process aborts.
 	crashed map[string]bool
@@ -103,11 +157,11 @@ type Sim struct {
 // New creates a simulation with a deterministic RNG seed.
 func New(seed int64) *Sim {
 	s := &Sim{
-		rng:     rand.New(rand.NewSource(seed)),
-		blocked: make(map[string]string),
-		crashed: make(map[string]bool),
+		rng:           rand.New(rand.NewSource(seed)),
+		blocked:       make(map[string]string),
+		blockedRender: make(map[string]map[string]string),
+		crashed:       make(map[string]bool),
 	}
-	heap.Init(&s.queue)
 	return s
 }
 
@@ -124,37 +178,140 @@ func (s *Sim) Current() string { return s.current }
 // Executed reports how many events have run so far.
 func (s *Sim) Executed() int { return s.executed }
 
-// Schedule runs fn on behalf of actor after delay. It returns a cancel
-// function; cancelling an already-executed event is a no-op.
-func (s *Sim) Schedule(actor string, delay Time, fn func()) (cancel func()) {
+// alloc takes an event from the freelist; when it is empty a whole chunk
+// of events is carved from one backing array, so a run's event population
+// costs a handful of allocations rather than one per event.
+func (s *Sim) alloc() *event {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return e
+	}
+	chunk := make([]event, 64)
+	for i := range chunk[1:] {
+		s.free = append(s.free, &chunk[1+i])
+	}
+	return &chunk[0]
+}
+
+// release recycles a finished event: the closure reference is dropped so
+// the pool never pins captured state, and the generation bump turns any
+// outstanding cancel handle for this event into a no-op.
+func (s *Sim) release(e *event) {
+	e.fn = nil
+	e.argFn = nil
+	e.arg = nil
+	e.canceled = false
+	e.gen++
+	s.free = append(s.free, e)
+}
+
+// post enqueues one event, drawing from the freelist.
+func (s *Sim) post(actor string, delay Time, fn func()) *event {
 	if delay < 0 {
 		delay = 0
 	}
-	flag := new(bool)
+	e := s.alloc()
+	e.at = s.now + delay
 	s.seq++
-	heap.Push(&s.queue, &event{at: s.now + delay, seq: s.seq, actor: actor, fn: fn, cancel: flag})
-	return func() { *flag = true }
+	e.seq = s.seq
+	e.actor = actor
+	e.fn = fn
+	s.queue.push(e)
+	return e
+}
+
+// Schedule runs fn on behalf of actor after delay. It returns a cancel
+// function; cancelling an already-executed event is a no-op.
+func (s *Sim) Schedule(actor string, delay Time, fn func()) (cancel func()) {
+	t := s.ScheduleTimer(actor, delay, fn)
+	return t.Cancel
+}
+
+// Timer is a cancellable handle to one scheduled event. It is a plain
+// value — returning it allocates nothing, unlike Schedule's cancel
+// closure — and the generation check makes Cancel on an executed (and
+// possibly recycled) event a no-op. The zero Timer is a valid no-op.
+type Timer struct {
+	e   *event
+	gen uint64
+}
+
+// Cancel marks the timer's event as cancelled if it has not executed yet.
+func (t Timer) Cancel() {
+	if t.e != nil && t.e.gen == t.gen {
+		t.e.canceled = true
+	}
+}
+
+// ScheduleTimer is Schedule returning a value-type handle instead of a
+// cancel closure; hot paths that may cancel use it to avoid the per-call
+// closure allocation.
+func (s *Sim) ScheduleTimer(actor string, delay Time, fn func()) Timer {
+	e := s.post(actor, delay, fn)
+	return Timer{e: e, gen: e.gen}
+}
+
+// Post is Schedule without the cancel handle. Callers that never cancel
+// (periodic ticks, message deliveries) use it so the scheduling hot path
+// builds no cancel closure at all.
+func (s *Sim) Post(actor string, delay Time, fn func()) { s.post(actor, delay, fn) }
+
+// postArg enqueues an event that calls fn(arg) — the argument travels in
+// the pooled event itself, so callers with per-event state (e.g. message
+// deliveries) can pass a struct to a shared top-level function instead of
+// building a fresh closure per event.
+func (s *Sim) postArg(actor string, delay Time, fn func(interface{}), arg interface{}) *event {
+	e := s.post(actor, delay, nil)
+	e.argFn = fn
+	e.arg = arg
+	return e
+}
+
+// PostArg is Post for an argument-carrying event.
+func (s *Sim) PostArg(actor string, delay Time, fn func(interface{}), arg interface{}) {
+	s.postArg(actor, delay, fn, arg)
+}
+
+// ScheduleArg is ScheduleTimer for an argument-carrying event.
+func (s *Sim) ScheduleArg(actor string, delay Time, fn func(interface{}), arg interface{}) Timer {
+	e := s.postArg(actor, delay, fn, arg)
+	return Timer{e: e, gen: e.gen}
 }
 
 // Go is Schedule with zero delay: the actor's next runnable step.
-func (s *Sim) Go(actor string, fn func()) { s.Schedule(actor, 0, fn) }
+func (s *Sim) Go(actor string, fn func()) { s.post(actor, 0, fn) }
 
 // Every schedules fn on actor repeatedly with the given period until the
 // returned cancel function is called or the simulation ends.
 func (s *Sim) Every(actor string, period Time, fn func()) (cancel func()) {
-	stopped := new(bool)
-	var tick func()
-	tick = func() {
-		if *stopped || s.crashed[actor] {
-			return
-		}
-		fn()
-		if !*stopped {
-			s.Schedule(actor, period, tick)
-		}
+	ev := &everyState{s: s, actor: actor, period: period, fn: fn}
+	s.postArg(actor, period, runEvery, ev)
+	return ev.stop
+}
+
+// everyState carries a recurring timer through its argFn events: one
+// allocation per Every call instead of a closure chain.
+type everyState struct {
+	s       *Sim
+	actor   string
+	period  Time
+	fn      func()
+	stopped bool
+}
+
+func (ev *everyState) stop() { ev.stopped = true }
+
+func runEvery(x interface{}) {
+	ev := x.(*everyState)
+	if ev.stopped || ev.s.crashed[ev.actor] {
+		return
 	}
-	s.Schedule(actor, period, tick)
-	return func() { *stopped = true }
+	ev.fn()
+	if !ev.stopped {
+		ev.s.postArg(ev.actor, ev.period, runEvery, ev)
+	}
 }
 
 // Jitter returns a random virtual duration in [0, max), for modelling
@@ -195,7 +352,12 @@ func (s *Sim) Interrupted() bool { return s.watchHit }
 // EventBudget is positive, Run stops after executing that many events
 // (BudgetExhausted then reports true); when a Watch context is installed
 // and cancelled, Run stops at the next poll (Interrupted reports true).
+// Both flags describe the current Run call only: each call clears them on
+// entry, so a sim re-entered after a budget-exhausted or interrupted run
+// (e.g. a crash/restart re-entry) reports fresh verdicts.
 func (s *Sim) Run(horizon Time) int {
+	s.budgetHit = false
+	s.watchHit = false
 	start := s.executed
 	for !s.stopped {
 		if s.EventBudget > 0 && s.executed-start >= s.EventBudget {
@@ -218,18 +380,25 @@ func (s *Sim) Run(horizon Time) int {
 			}
 			break
 		}
-		e := heap.Pop(&s.queue).(*event)
+		e := s.queue.pop()
 		if e.at > horizon {
 			// Put it back; simulation paused at the horizon.
-			heap.Push(&s.queue, e)
+			s.queue.push(e)
 			break
 		}
-		if *e.cancel || s.crashed[e.actor] {
+		if e.canceled || s.crashed[e.actor] {
+			s.release(e)
 			continue
 		}
 		s.now = e.at
 		s.current = e.actor
-		e.fn()
+		fn, argFn, arg := e.fn, e.argFn, e.arg
+		s.release(e) // recycle before dispatch; the work was captured above
+		if argFn != nil {
+			argFn(arg)
+		} else {
+			fn()
+		}
 		s.current = ""
 		s.executed++
 	}
@@ -240,13 +409,34 @@ func (s *Sim) Run(horizon Time) int {
 func (s *Sim) markBlocked(actor, label string) { s.blocked[actor] = label }
 func (s *Sim) unmarkBlocked(actor string)      { delete(s.blocked, actor) }
 
+// renderBlocked interns the "actor: label" rendering of one blocked pair.
+// Actors and labels come from small fixed sets, so after warmup every
+// Blocked call serves cached strings instead of formatting fresh ones.
+func (s *Sim) renderBlocked(actor, label string) string {
+	byLabel := s.blockedRender[actor]
+	if byLabel == nil {
+		byLabel = make(map[string]string, 2)
+		s.blockedRender[actor] = byLabel
+	}
+	r, ok := byLabel[label]
+	if !ok {
+		r = actor + ": " + label
+		byLabel[label] = r
+	}
+	return r
+}
+
 // Blocked returns a sorted list of "actor: label" strings for actors that
 // are currently waiting on a condition. A non-empty result after a run has
 // quiesced is the kernel-level signal behind "thread stuck" symptoms.
+//
+// The returned slice is a fresh copy and is the caller's to keep; the
+// strings themselves are interned and shared across calls, so callers
+// must treat them as immutable (which Go strings are).
 func (s *Sim) Blocked() []string {
 	out := make([]string, 0, len(s.blocked))
 	for a, l := range s.blocked {
-		out = append(out, fmt.Sprintf("%s: %s", a, l))
+		out = append(out, s.renderBlocked(a, l))
 	}
 	sort.Strings(out)
 	return out

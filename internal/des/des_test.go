@@ -310,3 +310,81 @@ func TestWatchContextUncancelledIsHarmless(t *testing.T) {
 		t.Fatalf("ran=%v interrupted=%v, want true/false", ran, s.Interrupted())
 	}
 }
+
+// A budget-exhausted or interrupted Run must not poison later Run calls on
+// the same sim: crash/restart re-entry runs the sim again, and a stale
+// BudgetExhausted/Interrupted verdict would falsely degrade the round.
+func TestRunClearsWatchdogVerdicts(t *testing.T) {
+	s := New(1)
+	s.EventBudget = 100
+	var spin func()
+	spin = func() { s.Go("spinner", spin) }
+	s.Go("spinner", spin)
+	s.Run(Second)
+	if !s.BudgetExhausted() {
+		t.Fatal("first run: BudgetExhausted not reported")
+	}
+	// Second run: the queue holds only the livelock's next tick; crash the
+	// spinner so the run drains immediately, well under budget.
+	s.Crash("spinner")
+	s.Schedule("a", 1, func() {})
+	s.Run(Second)
+	if s.BudgetExhausted() {
+		t.Fatal("second run under budget still reports BudgetExhausted")
+	}
+
+	s2 := New(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	s2.Watch(ctx)
+	cancel()
+	s2.Schedule("a", 1, func() {})
+	s2.Run(Second)
+	if !s2.Interrupted() {
+		t.Fatal("cancelled watch: Interrupted not reported")
+	}
+	s2.Watch(context.Background())
+	s2.Schedule("a", 1, func() {})
+	s2.Run(Second)
+	if s2.Interrupted() {
+		t.Fatal("second run with live watch still reports Interrupted")
+	}
+}
+
+// The event freelist must preserve cancel semantics across reuse: a stale
+// cancel handle from an executed event must not cancel the event struct's
+// next occupant.
+func TestStaleCancelAfterReuseIsNoOp(t *testing.T) {
+	s := New(1)
+	ran1, ran2 := false, false
+	cancel1 := s.Schedule("a", 1, func() { ran1 = true })
+	s.Run(Second)
+	if !ran1 {
+		t.Fatal("first event did not run")
+	}
+	// The event struct is recycled; this schedule reuses it.
+	s.Schedule("a", 1, func() { ran2 = true })
+	cancel1() // stale: must not touch the new occupant
+	s.Run(Second)
+	if !ran2 {
+		t.Fatal("stale cancel handle cancelled a recycled event")
+	}
+}
+
+// Steady-state scheduling must not allocate: after warmup every Post
+// draws its event from the freelist.
+func TestPostSteadyStateAllocs(t *testing.T) {
+	s := New(1)
+	fn := func() {}
+	// Warm the pool.
+	for i := 0; i < 64; i++ {
+		s.Post("a", 1, fn)
+	}
+	s.Run(Second)
+	allocs := testing.AllocsPerRun(100, func() {
+		s.Post("a", 1, fn)
+		s.Run(s.Now() + Second)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Post+Run allocates %.1f objects per event, want 0", allocs)
+	}
+}

@@ -255,6 +255,12 @@ func PlanCarriesEnv(p Plan) bool {
 // counting so deterministic replay of an env script needs no flag.
 func (r *Runtime) envActive() bool { return r.EnvEnabled || r.envAuto }
 
+// EnvActive exposes envActive to the network layer, which short-circuits
+// its per-message env-site sweep — including building the five pseudo-site
+// ID strings — when the run reaches no env sites anyway. Site-only runs
+// (the paper's fault space) pay nothing per message for the env machinery.
+func (r *Runtime) EnvActive() bool { return r.envActive() }
+
 // ReachEnv is the environment analog of Reach, called by the network
 // once per (message, env site) pair. It records the dynamic occurrence
 // and returns the EnvFault to execute if the plan injects here. When
@@ -267,9 +273,10 @@ func (r *Runtime) ReachEnv(site string) (EnvFault, bool) {
 	if !ok {
 		return EnvFault{}, false
 	}
-	r.counts[site]++
-	occ := r.counts[site]
-	r.kinds[site] = EnvKind(f.Class)
+	rec := r.site(site)
+	rec.count++
+	rec.kind = EnvKind(f.Class)
+	occ := rec.count
 
 	inject := false
 	if r.plan != nil && len(r.injected) < r.budget {

@@ -216,11 +216,10 @@ type Runtime struct {
 
 	plan Plan
 
-	counts    map[string]int
+	sites     map[string]*siteRec
 	trace     []TraceEvent
 	injected  []TraceEvent
 	budget    int
-	kinds     map[string]Kind // site -> kind observed at runtime
 	decisions int
 	decNanos  int64
 
@@ -251,19 +250,38 @@ func NewRuntime(plan Plan) *Runtime {
 	return &Runtime{
 		plan:      plan,
 		budget:    budget,
-		counts:    make(map[string]int),
-		kinds:     make(map[string]Kind),
+		sites:     make(map[string]*siteRec),
 		KeepTrace: true,
 		envAuto:   PlanCarriesEnv(plan),
 	}
 }
 
+// siteRec is one site's dynamic state: its occurrence counter and the
+// fault kind it declared. Reach runs on every instrumented call in every
+// simulated run, so the counter and kind share a single map entry probed
+// once, instead of separate count and kind maps hashed per field.
+type siteRec struct {
+	count int
+	kind  Kind
+}
+
+// site returns the record for a site, creating it on first reach.
+func (r *Runtime) site(site string) *siteRec {
+	rec := r.sites[site]
+	if rec == nil {
+		rec = &siteRec{}
+		r.sites[site] = rec
+	}
+	return rec
+}
+
 // Reach is the instrumented hook at a fault site. It records the dynamic
 // occurrence and returns a non-nil *Fault if the plan injects here.
 func (r *Runtime) Reach(site string, kind Kind) error {
-	r.counts[site]++
-	occ := r.counts[site]
-	r.kinds[site] = kind
+	rec := r.site(site)
+	rec.count++
+	rec.kind = kind
+	occ := rec.count
 
 	inject := false
 	if r.plan != nil && len(r.injected) < r.budget {
@@ -285,6 +303,13 @@ func (r *Runtime) Reach(site string, kind Kind) error {
 			ev.Time = r.Now()
 		}
 		if r.KeepTrace {
+			if r.trace == nil {
+				// A kept trace records every reach of the run — hundreds of
+				// events. Start sized for a typical free run so the append
+				// doubling does not copy the trace several times (lazily, so
+				// the many non-keeping round runtimes never pay for it).
+				r.trace = make([]TraceEvent, 0, 512)
+			}
 			r.trace = append(r.trace, ev)
 		}
 		if inject {
@@ -319,17 +344,20 @@ func (r *Runtime) InjectedAll() []TraceEvent { return r.injected }
 // runtime's internal numbering, so subsequent Reach/Decide calls keep
 // counting from the true occurrence.
 func (r *Runtime) Counts() map[string]int {
-	out := make(map[string]int, len(r.counts))
-	for site, n := range r.counts {
-		out[site] = n
+	out := make(map[string]int, len(r.sites))
+	for site, rec := range r.sites {
+		out[site] = rec.count
 	}
 	return out
 }
 
 // Kind reports the fault kind a site declared when reached.
 func (r *Runtime) Kind(site string) (Kind, bool) {
-	k, ok := r.kinds[site]
-	return k, ok
+	rec, ok := r.sites[site]
+	if !ok {
+		return "", false
+	}
+	return rec.kind, true
 }
 
 // Decisions returns how many injection requests the plan was consulted for

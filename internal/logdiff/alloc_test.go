@@ -1,0 +1,62 @@
+package logdiff
+
+import (
+	"fmt"
+	"testing"
+
+	"anduril/internal/logging"
+)
+
+// TestSanitizeSteadyStateAllocs pins the interning contract: once a
+// sanitized template is in the table, Sanitize and SanitizeID allocate
+// nothing, no matter how the volatile digits vary.
+func TestSanitizeSteadyStateAllocs(t *testing.T) {
+	msgs := []string{
+		"Taking snapshot at zxid=0x1a2b on myid=1",
+		"Committed zxid 4660 from leader 2",
+		"session 0x1000 expired after 4000 ms",
+	}
+	for _, m := range msgs {
+		Sanitize(m) // warm the intern table
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, m := range msgs {
+			Sanitize(m)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Sanitize allocated %.1f times per pass, want 0", allocs)
+	}
+}
+
+// TestCompareSteadyStateAllocs bounds the per-Compare allocation count on
+// warmed state. The grouping maps, Myers arrays and match buffers all come
+// from the scratch pool, so what remains is the Result itself (struct,
+// Missing map, Matches slice and the monotonic filter's arrays) — a small
+// constant, not a function of log length. The bound has headroom over the
+// measured count; the point is catching a regression back to per-entry
+// allocation (which would show up as hundreds per call on this input).
+func TestCompareSteadyStateAllocs(t *testing.T) {
+	var run, failure []logging.Entry
+	for i := 0; i < 200; i++ {
+		th := fmt.Sprintf("node%d-sync", i%4)
+		run = append(run, logging.Entry{Thread: th, Level: logging.Info,
+			Msg: fmt.Sprintf("Committed zxid %d from leader 1", i)})
+		failure = append(failure, logging.Entry{Thread: th, Level: logging.Info,
+			Msg: fmt.Sprintf("Committed zxid %d from leader 1", i+7)})
+	}
+	failure = append(failure, logging.Entry{Thread: "node1-sync", Level: logging.Error,
+		Msg: "Unexpected null datatree node restoring snapshot: NullPointerException"})
+
+	Compare(run, failure) // warm the intern table and scratch pool
+	allocs := testing.AllocsPerRun(50, func() {
+		Compare(run, failure)
+	})
+	// Headroom above the measured ~16: under -race, sync.Pool deliberately
+	// drops a quarter of Puts, so some calls rebuild their scratch. A
+	// regression to per-entry allocation would still blow far past this.
+	const maxAllocs = 64
+	if allocs > maxAllocs {
+		t.Errorf("Compare allocated %.1f times per call on a 200-entry log, want <= %d", allocs, maxAllocs)
+	}
+}

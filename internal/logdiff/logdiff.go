@@ -20,7 +20,7 @@ package logdiff
 
 import (
 	"sort"
-	"strings"
+	"sync"
 
 	"anduril/internal/logging"
 )
@@ -33,65 +33,172 @@ type Key struct {
 	Msg    string
 }
 
-// Sanitize normalizes a log message: every maximal run of decimal digits
-// becomes '#'. This removes counters, ports, sizes, offsets and other
-// volatile fields while preserving message identity, the same role the
-// paper's timestamp/field sanitization plays.
-func Sanitize(msg string) string {
-	var b strings.Builder
-	b.Grow(len(msg))
+// interner canonicalizes sanitized message templates. The explorer diffs
+// the same few hundred distinct sanitized forms thousands of times per
+// reproduction; interning them means Sanitize allocates only the first
+// time it sees a form, and the per-thread Myers diff compares small
+// integer IDs instead of strings. The table is process-global (guarded
+// for parallel evaluation) and bounded by the number of distinct
+// sanitized templates the targets can emit.
+var interner = struct {
+	sync.RWMutex
+	ids  map[string]int32
+	strs []string
+}{ids: make(map[string]int32)}
+
+// internBytes returns the ID for a sanitized form held in buf, adding it
+// to the table on first sight. The map lookup on the hit path performs no
+// conversion allocation (m[string(buf)] pattern).
+func internBytes(buf []byte) int32 {
+	interner.RLock()
+	id, ok := interner.ids[string(buf)]
+	interner.RUnlock()
+	if ok {
+		return id
+	}
+	interner.Lock()
+	defer interner.Unlock()
+	if id, ok = interner.ids[string(buf)]; ok {
+		return id
+	}
+	s := string(buf)
+	id = int32(len(interner.strs))
+	interner.strs = append(interner.strs, s)
+	interner.ids[s] = id
+	return id
+}
+
+// internString returns the canonical string for an interned ID.
+func internString(id int32) string {
+	interner.RLock()
+	s := interner.strs[id]
+	interner.RUnlock()
+	return s
+}
+
+// sanitizeAppend writes the sanitized form of msg into buf.
+func sanitizeAppend(buf []byte, msg string) []byte {
 	inDigits := false
 	for i := 0; i < len(msg); i++ {
 		c := msg[i]
 		if c >= '0' && c <= '9' {
 			if !inDigits {
-				b.WriteByte('#')
+				buf = append(buf, '#')
 				inDigits = true
 			}
 			continue
 		}
 		inDigits = false
-		b.WriteByte(c)
+		buf = append(buf, c)
 	}
-	return b.String()
+	return buf
+}
+
+// SanitizeID sanitizes a log message and returns its interned template ID.
+func SanitizeID(msg string) int32 {
+	var stack [192]byte
+	return internBytes(sanitizeAppend(stack[:0], msg))
+}
+
+// Sanitize normalizes a log message: every maximal run of decimal digits
+// becomes '#'. This removes counters, ports, sizes, offsets and other
+// volatile fields while preserving message identity, the same role the
+// paper's timestamp/field sanitization plays. The returned string is the
+// interned canonical copy: repeated calls with messages sharing one
+// sanitized form return the same string without allocating.
+func Sanitize(msg string) string {
+	return internString(SanitizeID(msg))
 }
 
 // byThread groups entries by thread, remembering each entry's global
 // position in the log.
 type posEntry struct {
 	global int
-	msg    string // sanitized
+	msg    int32 // interned sanitized template ID
 }
 
-func byThread(entries []logging.Entry) map[string][]posEntry {
-	m := make(map[string][]posEntry)
-	for i, e := range entries {
-		m[e.Thread] = append(m[e.Thread], posEntry{global: i, msg: Sanitize(e.Msg)})
+// cmpScratch holds the transient buffers one Compare call needs. Instances
+// cycle through a sync.Pool so repeated comparisons — thousands per
+// reproduction — reuse the grouping maps and Myers working arrays instead
+// of reallocating them. Stale map keys are truncated to length zero rather
+// than deleted, preserving each thread's slice capacity across calls.
+type cmpScratch struct {
+	runTh, failTh map[string][]posEntry
+	ra, fb        []int32
+	matchedB      []bool
+	matches       [][2]int
+	v             []int
+	trace         [][]int
+}
+
+var scratchPool = sync.Pool{New: func() interface{} {
+	return &cmpScratch{
+		runTh:  make(map[string][]posEntry),
+		failTh: make(map[string][]posEntry),
 	}
-	return m
+}}
+
+func (sc *cmpScratch) byThread(m map[string][]posEntry, entries []logging.Entry) {
+	for k, v := range m {
+		m[k] = v[:0]
+	}
+	for i, e := range entries {
+		m[e.Thread] = append(m[e.Thread], posEntry{global: i, msg: SanitizeID(e.Msg)})
+	}
 }
 
 // matchPair is one LCS match between two logs, in global positions.
 type matchPair struct{ a, b int }
 
-// myers computes the LCS matches between two string sequences using the
-// Myers O(ND) algorithm. It returns index pairs (i in a, j in b) of matched
-// elements, in increasing order.
-func myers(a, b []string) [][2]int {
+// myers computes the LCS matches between two sequences of interned
+// template IDs using the Myers O(ND) algorithm. It returns index pairs
+// (i in a, j in b) of matched elements, in increasing order. The returned
+// slice aliases pooled scratch and is only valid until the next call with
+// the same receiver.
+func myers(a, b []int32) [][2]int {
+	sc := scratchPool.Get().(*cmpScratch)
+	m := sc.myers(a, b)
+	out := make([][2]int, len(m))
+	copy(out, m)
+	scratchPool.Put(sc)
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// intRow returns trace row d resized to n, reusing prior capacity.
+func (sc *cmpScratch) intRow(d, n int) []int {
+	for d >= len(sc.trace) {
+		sc.trace = append(sc.trace, nil)
+	}
+	if cap(sc.trace[d]) < n {
+		sc.trace[d] = make([]int, n)
+	}
+	sc.trace[d] = sc.trace[d][:n]
+	return sc.trace[d]
+}
+
+func (sc *cmpScratch) myers(a, b []int32) [][2]int {
 	n, m := len(a), len(b)
 	if n == 0 || m == 0 {
 		return nil
 	}
 	max := n + m
 	// v[k+max] = furthest x along diagonal k.
-	v := make([]int, 2*max+1)
-	trace := make([][]int, 0, max+1)
+	need := 2*max + 1
+	if cap(sc.v) < need {
+		sc.v = make([]int, need)
+	}
+	v := sc.v[:need]
+	for i := range v {
+		v[i] = 0
+	}
 	var dFinal int
 	found := false
 	for d := 0; d <= max && !found; d++ {
-		snapshot := make([]int, len(v))
+		snapshot := sc.intRow(d, len(v))
 		copy(snapshot, v)
-		trace = append(trace, snapshot)
 		for k := -d; k <= d; k += 2 {
 			var x int
 			if k == -d || (k != d && v[k-1+max] < v[k+1+max]) {
@@ -113,10 +220,10 @@ func myers(a, b []string) [][2]int {
 		}
 	}
 	// Backtrack to recover matches.
-	var matches [][2]int
+	matches := sc.matches[:0]
 	x, y := n, m
 	for d := dFinal; d > 0; d-- {
-		vd := trace[d] // furthest-reaching endpoints after d-1 steps
+		vd := sc.trace[d] // furthest-reaching endpoints after d-1 steps
 		k := x - y
 		var prevK int
 		if k == -d || (k != d && vd[k-1+max] < vd[k+1+max]) {
@@ -145,6 +252,7 @@ func myers(a, b []string) [][2]int {
 	for i, j := 0, len(matches)-1; i < j; i, j = i+1, j-1 {
 		matches[i], matches[j] = matches[j], matches[i]
 	}
+	sc.matches = matches
 	return matches
 }
 
@@ -165,14 +273,29 @@ func (r *Result) MissingKeys() []Key {
 	for k := range r.Missing {
 		out = append(out, k)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Thread != out[j].Thread {
-			return out[i].Thread < out[j].Thread
-		}
-		return out[i].Msg < out[j].Msg
-	})
+	sort.Sort(keySlice(out))
 	return out
 }
+
+// keySlice sorts Keys by (thread, msg) without the per-call closure and
+// reflection swapper that sort.Slice allocates.
+type keySlice []Key
+
+func (s keySlice) Len() int      { return len(s) }
+func (s keySlice) Swap(i, j int) { s[i], s[j] = s[j], s[i] }
+func (s keySlice) Less(i, j int) bool {
+	if s[i].Thread != s[j].Thread {
+		return s[i].Thread < s[j].Thread
+	}
+	return s[i].Msg < s[j].Msg
+}
+
+// pairsByA sorts LCS anchors by run-side position.
+type pairsByA []matchPair
+
+func (s pairsByA) Len() int           { return len(s) }
+func (s pairsByA) Swap(i, j int)      { s[i], s[j] = s[j], s[i] }
+func (s pairsByA) Less(i, j int) bool { return s[i].a < s[j].a }
 
 // Compare diffs a run log against the failure log per thread (§5.1.1). The
 // returned Missing set is exactly "messages that only appear in the failure
@@ -180,29 +303,40 @@ func (r *Result) MissingKeys() []Key {
 // observables on each feedback round.
 func Compare(run, failure []logging.Entry) *Result {
 	res := &Result{Missing: make(map[Key][]int)}
-	runTh := byThread(run)
-	failTh := byThread(failure)
+	sc := scratchPool.Get().(*cmpScratch)
+	defer scratchPool.Put(sc)
+	sc.byThread(sc.runTh, run)
+	sc.byThread(sc.failTh, failure)
 
-	for thread, fEntries := range failTh {
-		rEntries := runTh[thread]
+	for thread, fEntries := range sc.failTh {
+		if len(fEntries) == 0 {
+			continue // truncated leftover from a previous comparison
+		}
+		rEntries := sc.runTh[thread]
 		if len(rEntries) == 0 {
 			// Thread absent from the run log: every message is relevant.
 			for _, fe := range fEntries {
-				k := Key{Thread: thread, Msg: fe.msg}
+				k := Key{Thread: thread, Msg: internString(fe.msg)}
 				res.Missing[k] = append(res.Missing[k], fe.global)
 			}
 			continue
 		}
-		ra := make([]string, len(rEntries))
-		for i, e := range rEntries {
-			ra[i] = e.msg
+		ra := sc.ra[:0]
+		for _, e := range rEntries {
+			ra = append(ra, e.msg)
 		}
-		fb := make([]string, len(fEntries))
-		for i, e := range fEntries {
-			fb[i] = e.msg
+		sc.ra = ra
+		fb := sc.fb[:0]
+		for _, e := range fEntries {
+			fb = append(fb, e.msg)
 		}
-		matches := myers(ra, fb)
-		matchedB := make([]bool, len(fb))
+		sc.fb = fb
+		matches := sc.myers(ra, fb)
+		matchedB := sc.matchedB[:0]
+		for range fb {
+			matchedB = append(matchedB, false)
+		}
+		sc.matchedB = matchedB
 		for _, m := range matches {
 			matchedB[m[1]] = true
 			res.Matches = append(res.Matches, matchPair{a: rEntries[m[0]].global, b: fEntries[m[1]].global})
@@ -211,14 +345,14 @@ func Compare(run, failure []logging.Entry) *Result {
 			if ok {
 				continue
 			}
-			k := Key{Thread: thread, Msg: fb[j]}
+			k := Key{Thread: thread, Msg: internString(fb[j])}
 			res.Missing[k] = append(res.Missing[k], fEntries[j].global)
 		}
 	}
 
 	// Sort anchors by run position and enforce monotonicity on the failure
 	// side (longest-nondecreasing filter) so the alignment is a function.
-	sort.Slice(res.Matches, func(i, j int) bool { return res.Matches[i].a < res.Matches[j].a })
+	sort.Sort(pairsByA(res.Matches))
 	res.Matches = monotonic(res.Matches)
 	return res
 }
@@ -296,16 +430,25 @@ func (al *Alignment) Map(runPos int) float64 {
 		}
 		return float64(runPos) * float64(first.b) / float64(first.a)
 	}
-	// Between anchors.
-	for i := 1; i < len(al.anchors); i++ {
-		lo, hi := al.anchors[i-1], al.anchors[i]
-		if runPos <= hi.a {
-			if hi.a == lo.a {
-				return float64(hi.b)
-			}
-			frac := float64(runPos-lo.a) / float64(hi.a-lo.a)
-			return float64(lo.b) + frac*float64(hi.b-lo.b)
+	// Between anchors: binary search for the first anchor at or past runPos.
+	// Anchors are sorted by run position, so this replaces the former linear
+	// scan (the explorer calls Map once per candidate site per round).
+	lo, hi := 1, len(al.anchors)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if al.anchors[mid].a < runPos {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
+	}
+	if lo < len(al.anchors) {
+		prev, next := al.anchors[lo-1], al.anchors[lo]
+		if next.a == prev.a {
+			return float64(next.b)
+		}
+		frac := float64(runPos-prev.a) / float64(next.a-prev.a)
+		return float64(prev.b) + frac*float64(next.b-prev.b)
 	}
 	// After the last anchor.
 	last := al.anchors[len(al.anchors)-1]

@@ -30,8 +30,17 @@ func TestSanitize(t *testing.T) {
 	}
 }
 
+// ids interns a list of raw strings for feeding myers in tests.
+func ids(ss ...string) []int32 {
+	out := make([]int32, len(ss))
+	for i, s := range ss {
+		out[i] = SanitizeID(s)
+	}
+	return out
+}
+
 // lcsLenRef is a reference quadratic LCS length implementation.
-func lcsLenRef(a, b []string) int {
+func lcsLenRef(a, b []int32) int {
 	n, m := len(a), len(b)
 	dp := make([][]int, n+1)
 	for i := range dp {
@@ -52,8 +61,8 @@ func lcsLenRef(a, b []string) int {
 }
 
 func TestMyersMatchesAreValid(t *testing.T) {
-	a := []string{"a", "b", "c", "d", "e"}
-	b := []string{"z", "b", "c", "y", "e", "w"}
+	a := ids("a", "b", "c", "d", "e")
+	b := ids("z", "b", "c", "y", "e", "w")
 	matches := myers(a, b)
 	// Matches must be equal elements, strictly increasing on both sides.
 	prev := [2]int{-1, -1}
@@ -72,18 +81,18 @@ func TestMyersMatchesAreValid(t *testing.T) {
 }
 
 func TestMyersEdgeCases(t *testing.T) {
-	if m := myers(nil, []string{"x"}); m != nil {
+	if m := myers(nil, ids("x")); m != nil {
 		t.Fatalf("empty a: %v", m)
 	}
-	if m := myers([]string{"x"}, nil); m != nil {
+	if m := myers(ids("x"), nil); m != nil {
 		t.Fatalf("empty b: %v", m)
 	}
-	same := []string{"p", "q", "r"}
+	same := ids("p", "q", "r")
 	m := myers(same, same)
 	if len(m) != 3 {
 		t.Fatalf("identical: %v", m)
 	}
-	disjoint := myers([]string{"a", "b"}, []string{"c", "d"})
+	disjoint := myers(ids("a", "b"), ids("c", "d"))
 	if len(disjoint) != 0 {
 		t.Fatalf("disjoint: %v", disjoint)
 	}
@@ -92,15 +101,15 @@ func TestMyersEdgeCases(t *testing.T) {
 // Property: myers produces a maximum matching (equals LCS length) on random
 // small inputs, with valid strictly-increasing equal-element pairs.
 func TestMyersProperty(t *testing.T) {
-	alphabet := []string{"a", "b", "c"}
+	alphabet := ids("a", "b", "c")
 	f := func(seedA, seedB uint16) bool {
 		ra := rand.New(rand.NewSource(int64(seedA)))
 		rb := rand.New(rand.NewSource(int64(seedB)))
-		a := make([]string, ra.Intn(20))
+		a := make([]int32, ra.Intn(20))
 		for i := range a {
 			a[i] = alphabet[ra.Intn(len(alphabet))]
 		}
-		b := make([]string, rb.Intn(20))
+		b := make([]int32, rb.Intn(20))
 		for i := range b {
 			b[i] = alphabet[rb.Intn(len(alphabet))]
 		}

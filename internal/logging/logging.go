@@ -90,8 +90,17 @@ func New(sim *des.Sim) *Log { return &Log{sim: sim} }
 // time on the run's timeline.
 func (l *Log) Pos() int { return len(l.records) }
 
-// Records returns all records emitted so far.
-func (l *Log) Records() []Record { return l.records }
+// Records returns a copy of all records emitted so far. Callers may keep
+// or mutate the returned slice freely; earlier versions handed out the
+// internal backing array, which aliased against subsequent emits.
+func (l *Log) Records() []Record {
+	out := make([]Record, len(l.records))
+	copy(out, l.records)
+	return out
+}
+
+// Len reports the number of records emitted so far without copying.
+func (l *Log) Len() int { return len(l.records) }
 
 func (l *Log) emit(level Level, format string, args ...interface{}) {
 	thread := "main"
@@ -102,13 +111,25 @@ func (l *Log) emit(level Level, format string, args ...interface{}) {
 		}
 		at = l.sim.Now()
 	}
+	msg := format
+	if len(args) > 0 || strings.IndexByte(format, '%') >= 0 {
+		msg = fmt.Sprintf(format, args...)
+	}
+	if cap(l.records) == len(l.records) {
+		// Pre-size the first growth generously: run logs routinely reach a
+		// few hundred records, and letting append double from 1 costs ~10
+		// reallocations per run on the reproduce hot path.
+		next := make([]Record, len(l.records), max(256, 2*cap(l.records)))
+		copy(next, l.records)
+		l.records = next
+	}
 	l.records = append(l.records, Record{
 		Seq:      len(l.records),
 		Time:     at,
 		Thread:   thread,
 		Level:    level,
 		Template: format,
-		Msg:      fmt.Sprintf(format, args...),
+		Msg:      msg,
 	})
 }
 
@@ -174,21 +195,23 @@ func ParseLine(line string) (Entry, bool) {
 	if !strings.HasPrefix(rest, "[") {
 		return Entry{}, false
 	}
-	close := strings.IndexByte(rest, ']')
-	if close < 0 {
-		return Entry{}, false
+	// Thread names may themselves contain brackets (e.g. "node[1]"), so the
+	// closing bracket is the first ']' that is followed by a valid severity
+	// token — not simply the first ']'.
+	for close := strings.IndexByte(rest, ']'); close >= 0; {
+		after := strings.TrimPrefix(rest[close+1:], " ")
+		if sp3 := strings.IndexByte(after, ' '); sp3 >= 0 {
+			if lvl, ok := ParseLevel(after[:sp3]); ok {
+				return Entry{Thread: rest[1:close], Level: lvl, Msg: after[sp3+1:]}, true
+			}
+		}
+		next := strings.IndexByte(rest[close+1:], ']')
+		if next < 0 {
+			break
+		}
+		close += 1 + next
 	}
-	thread := rest[1:close]
-	rest = strings.TrimPrefix(rest[close+1:], " ")
-	sp3 := strings.IndexByte(rest, ' ')
-	if sp3 < 0 {
-		return Entry{}, false
-	}
-	lvl, ok := ParseLevel(rest[:sp3])
-	if !ok {
-		return Entry{}, false
-	}
-	return Entry{Thread: thread, Level: lvl, Msg: rest[sp3+1:]}, true
+	return Entry{}, false
 }
 
 // Parse parses a production-style log file into entries, skipping

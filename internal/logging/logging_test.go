@@ -107,6 +107,60 @@ func TestEntriesMatchesRenderParse(t *testing.T) {
 	}
 }
 
+func TestParseLineBracketedThread(t *testing.T) {
+	cases := []struct {
+		line   string
+		thread string
+		msg    string
+	}{
+		{"2024-11-04 09:00:00,001 [node[1]] INFO joined ring", "node[1]", "joined ring"},
+		{"2024-11-04 09:00:00,001 [pool-1-thread-2] WARN queue full", "pool-1-thread-2", "queue full"},
+		{"2024-11-04 09:00:00,001 [rs[a][b]] ERROR split failed", "rs[a][b]", "split failed"},
+		{"2024-11-04 09:00:00,001 [w] INFO saw [x] ERROR in payload", "w", "saw [x] ERROR in payload"},
+	}
+	for _, c := range cases {
+		e, ok := ParseLine(c.line)
+		if !ok {
+			t.Fatalf("ParseLine(%q) failed", c.line)
+		}
+		if e.Thread != c.thread || e.Msg != c.msg {
+			t.Fatalf("ParseLine(%q) = %+v, want thread %q msg %q", c.line, e, c.thread, c.msg)
+		}
+	}
+	if _, ok := ParseLine("2024-11-04 09:00:00,001 [node1 INFO no close"); ok {
+		t.Fatal("accepted line whose bracket never closes")
+	}
+	if _, ok := ParseLine("2024-11-04 09:00:00,001 [node[1]] NOTALEVEL msg"); ok {
+		t.Fatal("accepted line with no valid level after any bracket")
+	}
+}
+
+// Property: thread names containing brackets (Log4j's "node[1]" style)
+// survive a render/parse round trip together with arbitrary messages.
+func TestRoundTripBracketedThreadProperty(t *testing.T) {
+	f := func(base uint8, idx uint8, raw string) bool {
+		thread := strings.Repeat("n", int(base%3)+1) + "[" + string(rune('0'+idx%10)) + "]"
+		msg := strings.Map(func(r rune) rune {
+			if r == '\n' || r == '\r' {
+				return ' '
+			}
+			return r
+		}, raw)
+		if msg == "" {
+			msg = "x"
+		}
+		sim := des.New(4)
+		lg := New(sim)
+		sim.Schedule(thread, 1, func() { lg.Infof("%s", msg) })
+		sim.Run(des.Second)
+		parsed := Parse(lg.Render())
+		return len(parsed) == 1 && parsed[0].Msg == msg && parsed[0].Thread == thread
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property: any message without newlines survives a render/parse round trip.
 func TestRoundTripProperty(t *testing.T) {
 	f := func(raw string) bool {

@@ -39,7 +39,20 @@ func (d *Disk) Append(site, path string, data []byte) error {
 	if err := d.fi.Reach(site, inject.IO); err != nil {
 		return err
 	}
-	d.files[path] = append(d.files[path], data...)
+	cur := d.files[path]
+	if len(cur)+len(data) > cap(cur) {
+		// Grow 4x with a log-sized floor: append-heavy files (txn logs)
+		// are the common case, and quadrupling halves the bytes copied
+		// across a file's lifetime versus plain append doubling.
+		ncap := 4 * cap(cur)
+		if min := 1024 + len(cur) + len(data); ncap < min {
+			ncap = min
+		}
+		grown := make([]byte, len(cur), ncap)
+		copy(grown, cur)
+		cur = grown
+	}
+	d.files[path] = append(cur, data...)
 	return nil
 }
 
@@ -104,7 +117,7 @@ func (d *Disk) Size(path string) int { return len(d.files[path]) }
 
 // List returns the sorted paths under the given prefix.
 func (d *Disk) List(prefix string) []string {
-	var out []string
+	out := make([]string, 0, len(d.files))
 	for p := range d.files {
 		if strings.HasPrefix(p, prefix) {
 			out = append(out, p)

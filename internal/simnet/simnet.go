@@ -46,6 +46,20 @@ type Net struct {
 	down           map[string]bool
 	partitioned    map[[2]string]bool
 
+	// envIDs caches the five env pseudo-site ID strings per directed
+	// channel, so env-enabled runs build them once per (from, to) pair
+	// instead of once per message.
+	envIDs map[[2]string]*envChannelIDs
+
+	// sendPool and replyPool recycle the per-delivery state of one-way
+	// messages and RPC responses. Both object kinds are referenced only
+	// by the event that delivers them (fields are copied out before the
+	// object returns to the pool), so reuse is safe; call objects are
+	// NOT pooled because handlers may retain their respond function
+	// indefinitely (e.g. a leader parking responses until commit).
+	sendPool  []*sendEvent
+	replyPool []*reply
+
 	// OnCrash, when set, executes a node-crash environment fault: take
 	// the node down, tear down its runtime state, and restart it with
 	// recovered state after restartAfter elapses. cluster.NewEnv wires it
@@ -66,7 +80,34 @@ func New(sim *des.Sim, fi *inject.Runtime, log *logging.Log, minLat, maxLat des.
 		handlers:    make(map[string]map[string]endpoint),
 		down:        make(map[string]bool),
 		partitioned: make(map[[2]string]bool),
+		envIDs:      make(map[[2]string]*envChannelIDs),
 	}
+}
+
+// envChannelIDs holds the env pseudo-site IDs relevant to one directed
+// channel, in the fixed order applyEnv reaches them.
+type envChannelIDs struct {
+	crashFrom, crashTo string
+	partition          string
+	drop, delay        string
+}
+
+// channelEnvIDs returns the cached env site IDs for a channel, building
+// them on first use.
+func (n *Net) channelEnvIDs(from, to string) *envChannelIDs {
+	key := [2]string{from, to}
+	if ids, ok := n.envIDs[key]; ok {
+		return ids
+	}
+	ids := &envChannelIDs{
+		crashFrom: inject.EnvSiteID(inject.EnvCrash, from, ""),
+		crashTo:   inject.EnvSiteID(inject.EnvCrash, to, ""),
+		partition: inject.EnvSiteID(inject.EnvPartition, from, to),
+		drop:      inject.EnvSiteID(inject.EnvDrop, from, to),
+		delay:     inject.EnvSiteID(inject.EnvDelay, from, to),
+	}
+	n.envIDs[key] = ids
+	return ids
 }
 
 // Handle registers a handler for messages of msgType addressed to node.
@@ -104,13 +145,24 @@ func (n *Net) latency() des.Time {
 	return n.minLat + n.sim.Jitter(n.maxLat-n.minLat+1)
 }
 
+// Shared error values for environment-level connection failures. They are
+// allocated once and must be treated as immutable by callers (errors.Is /
+// inject.AsFault inspection only) — the message hot path returns them on
+// every unreachable peer, so a per-call allocation would dominate chaos
+// runs with long-lived partitions.
+var (
+	errPeerDown    = &inject.Fault{Kind: inject.Connection, Site: "env.net.down"}
+	errPartitioned = &inject.Fault{Kind: inject.Connection, Site: "env.net.partition"}
+	errRPCTimeout  = &inject.Fault{Kind: inject.Timeout, Site: "env.net.rpc-timeout"}
+)
+
 // reachability returns a connection-level error if to is unreachable.
 func (n *Net) reachability(from, to string) error {
 	if n.down[to] {
-		return &inject.Fault{Kind: inject.Connection, Site: "env.net.down"}
+		return errPeerDown
 	}
 	if n.partitioned[[2]string{from, to}] {
-		return &inject.Fault{Kind: inject.Connection, Site: "env.net.partition"}
+		return errPartitioned
 	}
 	return nil
 }
@@ -125,23 +177,29 @@ func (n *Net) reachability(from, to string) error {
 // they land in the down/partitioned state that reachability reads next.
 // When env faults are disabled for the run every ReachEnv is a no-op.
 func (n *Net) applyEnv(from, to string) (drop bool, extra des.Time) {
-	if f, ok := n.fi.ReachEnv(inject.EnvSiteID(inject.EnvCrash, from, "")); ok {
+	if !n.fi.EnvActive() {
+		// Every ReachEnv below would be a no-op; skip the sweep (and the
+		// site-ID construction) entirely on site-only runs.
+		return false, 0
+	}
+	ids := n.channelEnvIDs(from, to)
+	if f, ok := n.fi.ReachEnv(ids.crashFrom); ok {
 		n.crashNode(f)
 		return true, 0 // the sender died mid-send; the message is lost with it
 	}
 	if to != from {
-		if f, ok := n.fi.ReachEnv(inject.EnvSiteID(inject.EnvCrash, to, "")); ok {
+		if f, ok := n.fi.ReachEnv(ids.crashTo); ok {
 			n.crashNode(f) // reachability sees the receiver down
 		}
-		if f, ok := n.fi.ReachEnv(inject.EnvSiteID(inject.EnvPartition, from, to)); ok {
+		if f, ok := n.fi.ReachEnv(ids.partition); ok {
 			n.cutPair(f) // reachability sees the fresh cut
 		}
 	}
-	if f, ok := n.fi.ReachEnv(inject.EnvSiteID(inject.EnvDrop, from, to)); ok {
+	if f, ok := n.fi.ReachEnv(ids.drop); ok {
 		n.logMarker(f)
 		return true, 0
 	}
-	if f, ok := n.fi.ReachEnv(inject.EnvSiteID(inject.EnvDelay, from, to)); ok {
+	if f, ok := n.fi.ReachEnv(ids.delay); ok {
 		n.logMarker(f)
 		return false, f.Duration
 	}
@@ -165,7 +223,7 @@ func (n *Net) crashNode(f inject.EnvFault) {
 		return
 	}
 	n.down[f.Subject] = true
-	n.sim.Schedule("env-restart", f.Duration, func() {
+	n.sim.Post("env-restart", f.Duration, func() {
 		n.down[f.Subject] = false
 		n.log.Infof("env: node %s restarted", f.Subject)
 	})
@@ -176,10 +234,42 @@ func (n *Net) crashNode(f inject.EnvFault) {
 func (n *Net) cutPair(f inject.EnvFault) {
 	n.logMarker(f)
 	n.Partition(f.Subject, f.Peer, true)
-	n.sim.Schedule("env-heal", f.Duration, func() {
+	n.sim.Post("env-heal", f.Duration, func() {
 		n.Partition(f.Subject, f.Peer, false)
 		n.log.Infof("env: partition %s/%s healed", f.Subject, f.Peer)
 	})
+}
+
+// sendEvent carries one in-flight one-way message through the event
+// queue. Pooled: the delivery copies its fields out and releases the
+// object before dispatch, so steady-state sends allocate nothing.
+type sendEvent struct {
+	n   *Net
+	msg Message
+	ep  endpoint
+}
+
+func (n *Net) getSend(msg Message, ep endpoint) *sendEvent {
+	if k := len(n.sendPool); k > 0 {
+		d := n.sendPool[k-1]
+		n.sendPool = n.sendPool[:k-1]
+		d.msg, d.ep = msg, ep
+		return d
+	}
+	return &sendEvent{n: n, msg: msg, ep: ep}
+}
+
+// runSend delivers a one-way message (top-level so the delivery event
+// carries a pooled *sendEvent instead of a fresh closure).
+func runSend(x interface{}) {
+	d := x.(*sendEvent)
+	n, msg, ep := d.n, d.msg, d.ep
+	d.msg, d.ep = Message{}, endpoint{} // drop payload references
+	n.sendPool = append(n.sendPool, d)
+	if n.down[msg.To] {
+		return
+	}
+	ep.handler(msg, nil)
 }
 
 // Send transmits a one-way message. site is the sender-side fault site; an
@@ -202,13 +292,95 @@ func (n *Net) Send(site string, msg Message) error {
 	if !ok {
 		return fmt.Errorf("simnet: %s has no handler for %s", msg.To, msg.Type)
 	}
-	n.sim.Schedule(ep.actor, n.latency()+extra, func() {
-		if n.down[msg.To] {
-			return
-		}
-		ep.handler(msg, nil)
-	})
+	n.sim.PostArg(ep.actor, n.latency()+extra, runSend, n.getSend(msg, ep))
 	return nil
+}
+
+// call is the state of one in-flight RPC. It is allocated fresh per Call
+// (handlers may retain respondFn arbitrarily long, so reuse would be
+// unsound), but all of its events go through shared top-level functions,
+// so one RPC costs two allocations: the call and its respond function.
+type call struct {
+	n         *Net
+	caller    string
+	msg       Message
+	ep        endpoint
+	cont      func(payload interface{}, err error)
+	respondFn func(payload interface{}, err error)
+	timer     des.Timer
+	done      bool
+
+	// payload/err hold the outcome for the synchronous-failure path
+	// (injected fault, unreachable peer, missing handler).
+	payload interface{}
+	err     error
+}
+
+// respond is handed to the remote handler; it ships the response back to
+// the caller's actor after one more latency draw.
+func (c *call) respond(payload interface{}, err error) {
+	n := c.n
+	if n.down[c.msg.To] {
+		return // responder went down before responding; caller times out
+	}
+	var r *reply
+	if k := len(n.replyPool); k > 0 {
+		r = n.replyPool[k-1]
+		n.replyPool = n.replyPool[:k-1]
+		r.c, r.payload, r.err = c, payload, err
+	} else {
+		r = &reply{c: c, payload: payload, err: err}
+	}
+	n.sim.PostArg(c.caller, n.latency(), runReply, r)
+}
+
+// reply is one response in flight from responder to caller. Pooled: each
+// respond call gets its own reply so two racing responses each deliver
+// their own payload, exactly as the closure-per-respond code did.
+type reply struct {
+	c       *call
+	payload interface{}
+	err     error
+}
+
+func runReply(x interface{}) {
+	r := x.(*reply)
+	c, payload, err := r.c, r.payload, r.err
+	n := c.n
+	r.c, r.payload, r.err = nil, nil, nil
+	n.replyPool = append(n.replyPool, r)
+	if c.done {
+		return
+	}
+	c.done = true
+	c.timer.Cancel()
+	c.cont(payload, err)
+}
+
+// runCallFinish completes an RPC that failed synchronously on the caller's
+// side (the error still arrives as its own event, like any response).
+func runCallFinish(x interface{}) {
+	c := x.(*call)
+	c.cont(c.payload, c.err)
+}
+
+// runCallTimeout fires when no response arrived within the RPC timeout.
+func runCallTimeout(x interface{}) {
+	c := x.(*call)
+	if c.done {
+		return
+	}
+	c.done = true
+	c.cont(nil, errRPCTimeout)
+}
+
+// runCallRequest delivers the request leg to the remote handler.
+func runCallRequest(x interface{}) {
+	c := x.(*call)
+	if c.n.down[c.msg.To] {
+		return // request lost; caller times out
+	}
+	c.ep.handler(c.msg, c.respondFn)
 }
 
 // Call performs an RPC: the remote handler's respond() resumes the caller's
@@ -220,58 +392,33 @@ func (n *Net) Call(site string, msg Message, timeout des.Time, cont func(payload
 	if caller == "" {
 		caller = msg.From
 	}
-	finish := func(payload interface{}, err error) {
-		n.sim.Go(caller, func() { cont(payload, err) })
-	}
+	c := &call{n: n, caller: caller, msg: msg, cont: cont}
 
 	if err := n.fi.Reach(site, inject.Socket); err != nil {
-		finish(nil, err)
+		c.err = err
+		n.sim.PostArg(caller, 0, runCallFinish, c)
 		return
 	}
 	drop, extra := n.applyEnv(msg.From, msg.To)
 	if err := n.reachability(msg.From, msg.To); err != nil {
-		finish(nil, err)
+		c.err = err
+		n.sim.PostArg(caller, 0, runCallFinish, c)
 		return
 	}
 	ep, ok := n.handlers[msg.To][msg.Type]
 	if !ok {
-		finish(nil, fmt.Errorf("simnet: %s has no handler for %s", msg.To, msg.Type))
+		c.err = fmt.Errorf("simnet: %s has no handler for %s", msg.To, msg.Type)
+		n.sim.PostArg(caller, 0, runCallFinish, c)
 		return
 	}
+	c.ep = ep
 
-	done := false
-	var cancelTimeout func()
 	if timeout > 0 {
-		cancelTimeout = n.sim.Schedule(caller, timeout, func() {
-			if done {
-				return
-			}
-			done = true
-			cont(nil, &inject.Fault{Kind: inject.Timeout, Site: "env.net.rpc-timeout"})
-		})
+		c.timer = n.sim.ScheduleArg(caller, timeout, runCallTimeout, c)
 	}
 	if drop {
 		return // request lost in the environment; caller times out
 	}
-	respond := func(payload interface{}, err error) {
-		if n.down[msg.To] {
-			return // responder went down before responding; caller times out
-		}
-		n.sim.Schedule(caller, n.latency(), func() {
-			if done {
-				return
-			}
-			done = true
-			if cancelTimeout != nil {
-				cancelTimeout()
-			}
-			cont(payload, err)
-		})
-	}
-	n.sim.Schedule(ep.actor, n.latency()+extra, func() {
-		if n.down[msg.To] {
-			return // request lost; caller times out
-		}
-		ep.handler(msg, respond)
-	})
+	c.respondFn = c.respond
+	n.sim.PostArg(ep.actor, n.latency()+extra, runCallRequest, c)
 }

@@ -3,26 +3,42 @@ package zk
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
 // Disk layout per server: "zk<id>/txnlog" is the transaction log and
 // "zk<id>/snapshot.<zxid>" are fuzzy snapshots.
 
-func (s *Server) txnLogPath() string { return fmt.Sprintf("%s/txnlog", s.name) }
+func (s *Server) txnLogPath() string { return s.txnLog }
 
+const zeroPad16 = "0000000000000000"
+
+// snapshotPath renders "<name>/snapshot.<zxid %016d>" without fmt — this
+// sits on the replication hot path (every commit checks snapshot state).
 func (s *Server) snapshotPath(zxid int64) string {
-	return fmt.Sprintf("%s/snapshot.%016d", s.name, zxid)
+	if s.snapPath != "" && s.snapPathZxid == zxid {
+		return s.snapPath
+	}
+	digits := strconv.FormatInt(zxid, 10)
+	p := s.name + "/snapshot." + digits
+	if len(digits) < 16 {
+		p = s.name + "/snapshot." + zeroPad16[:16-len(digits)] + digits
+	}
+	s.snapPath, s.snapPathZxid = p, zxid
+	return p
 }
 
 // appendTxn writes one transaction record to the log and fsyncs it. This
-// is the fault boundary of ZK-2247 (f1).
+// is the fault boundary of ZK-2247 (f1). The record is encoded into the
+// server's reusable scratch buffer; simdisk copies on Append.
 func (s *Server) appendTxn(txn Txn) error {
 	env := s.env()
-	if err := env.Disk.Append("zk.sync.append-txn", s.txnLogPath(), []byte(encodeTxn(txn))); err != nil {
+	s.scratch = appendTxnRecord(s.scratch[:0], txn)
+	if err := env.Disk.Append("zk.sync.append-txn", s.txnLog, s.scratch); err != nil {
 		return fmt.Errorf("failed to write transaction log: %w", err)
 	}
-	if err := env.Disk.Sync("zk.sync.fsync-txnlog", s.txnLogPath()); err != nil {
+	if err := env.Disk.Sync("zk.sync.fsync-txnlog", s.txnLog); err != nil {
 		return fmt.Errorf("failed to fsync transaction log: %w", err)
 	}
 	return nil
@@ -46,11 +62,16 @@ func (s *Server) takeSnapshot() error {
 	// Defect (ZK-3006): the snapshot is considered taken from this point
 	// on, even if a later write step fails and leaves the file truncated.
 	s.lastSnapZxid = s.zxid
-	header := fmt.Sprintf("SNAP|%d|%d\n", s.epoch, s.zxid)
-	if err := env.Disk.Append("zk.snap.write-header", path, []byte(header)); err != nil {
+	header := s.scratch[:0]
+	header = append(header, "SNAP|"...)
+	header = strconv.AppendInt(header, s.epoch, 10)
+	header = append(header, '|')
+	header = strconv.AppendInt(header, s.zxid, 10)
+	header = append(header, '\n')
+	s.scratch = header
+	if err := env.Disk.Append("zk.snap.write-header", path, header); err != nil {
 		return fmt.Errorf("cannot write snapshot header: %w", err)
 	}
-	var body strings.Builder
 	// Serialize in sorted path order so snapshot bytes are a pure function
 	// of the datatree, not of map iteration order.
 	paths := make([]string, 0, len(s.data))
@@ -58,10 +79,16 @@ func (s *Server) takeSnapshot() error {
 		paths = append(paths, p)
 	}
 	sort.Strings(paths)
+	body := s.scratch[:0]
 	for _, p := range paths {
-		fmt.Fprintf(&body, "N|%s|%s\n", p, s.data[p])
+		body = append(body, "N|"...)
+		body = append(body, p...)
+		body = append(body, '|')
+		body = append(body, s.data[p]...)
+		body = append(body, '\n')
 	}
-	if err := env.Disk.Append("zk.snap.write-body", path, []byte(body.String())); err != nil {
+	s.scratch = body
+	if err := env.Disk.Append("zk.snap.write-body", path, body); err != nil {
 		return fmt.Errorf("cannot serialize datatree: %w", err)
 	}
 	if err := env.Disk.Append("zk.snap.write-footer", path, []byte("END\n")); err != nil {

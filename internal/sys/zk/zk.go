@@ -12,6 +12,7 @@ package zk
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"anduril/internal/cluster"
@@ -35,8 +36,18 @@ type Txn struct {
 	Value string
 }
 
-func encodeTxn(t Txn) string {
-	return fmt.Sprintf("%d|%s|%s|%s\n", t.Zxid, t.Op, t.Path, t.Value)
+// appendTxnRecord encodes one txn record ("zxid|op|path|value\n") into b,
+// byte-identical to the old fmt.Sprintf form but without per-record
+// allocations — the log is appended on every replicated write.
+func appendTxnRecord(b []byte, t Txn) []byte {
+	b = strconv.AppendInt(b, t.Zxid, 10)
+	b = append(b, '|')
+	b = append(b, t.Op...)
+	b = append(b, '|')
+	b = append(b, t.Path...)
+	b = append(b, '|')
+	b = append(b, t.Value...)
+	return append(b, '\n')
 }
 
 func decodeTxn(line string) (Txn, bool) {
@@ -145,26 +156,53 @@ type Server struct {
 	lastSnapZxid int64
 
 	connectTries int
+
+	// Persistence hot-path scratch: the txn-log path is fixed per server,
+	// and scratch is the reusable encode buffer for txn records and
+	// snapshot bodies (simdisk copies on Append, so reuse is safe).
+	txnLog  string
+	scratch []byte
+
+	// snapPath memoizes the last rendered snapshot path: the replication
+	// path re-renders the same zxid's path on every commit check.
+	snapPath     string
+	snapPathZxid int64
+
+	// actors caches "name-thread" actor strings; the handful of thread
+	// names recur on every timer tick and message send.
+	actors map[string]string
 }
 
 func newServer(c *Cluster, id int) *Server {
-	return &Server{
+	name := fmt.Sprintf("zk%d", id)
+	s := &Server{
 		c:           c,
 		id:          id,
-		name:        fmt.Sprintf("zk%d", id),
+		name:        name,
+		txnLog:      name + "/txnlog",
 		role:        roleLooking,
 		data:        make(map[string]string),
 		votes:       make(map[int]int),
 		synced:      make(map[int]bool),
 		acks:        make(map[int64]map[int]bool),
 		pendingResp: make(map[int64]func(interface{}, error)),
+		actors:      make(map[string]string, 8),
 	}
+	return s
 }
 
 func (s *Server) env() *cluster.Env { return s.c.env }
 
-// actor returns a thread name of this server, e.g. "zk1-sync".
-func (s *Server) actor(thread string) string { return s.name + "-" + thread }
+// actor returns a thread name of this server, e.g. "zk1-sync". Names are
+// cached per server: the same few threads recur on every tick and send.
+func (s *Server) actor(thread string) string {
+	a, ok := s.actors[thread]
+	if !ok {
+		a = s.name + "-" + thread
+		s.actors[thread] = a
+	}
+	return a
+}
 
 func (s *Server) start() {
 	env := s.env()

@@ -1,0 +1,292 @@
+package trace
+
+import (
+	"math"
+	"strconv"
+	"unicode/utf8"
+)
+
+// This file is a hand-rolled encoder for Event producing bytes identical to
+// encoding/json.Marshal (with its default HTML escaping). Traces are emitted
+// on every explorer round; reflection-driven Marshal allocates the output
+// buffer, the reflect walk states, and the MarshalJSON shims on each event,
+// while AppendEvent appends into a caller-owned buffer and allocates nothing.
+//
+// Byte identity is the contract, not an aspiration: golden traces, the
+// resume-equivalence tests, and trace.Diff all compare JSONL lines verbatim,
+// so TestAppendEventMatchesJSON locks the two encoders together. The field
+// list below must mirror the Event struct declaration order exactly —
+// adding a field to Event means adding it here in the same position.
+
+// AppendEvent appends ev's canonical JSON object (no trailing newline) to
+// dst and returns the extended buffer. The encoding is byte-identical to
+// encoding/json.Marshal(ev), including field order, omitempty handling,
+// Float's "+inf"/"-inf" forms, and HTML-escaped strings.
+func AppendEvent(dst []byte, ev *Event) []byte {
+	dst = append(dst, `{"event":`...)
+	dst = appendJSONString(dst, string(ev.Type))
+	if ev.Round != 0 {
+		dst = appendIntField(dst, `,"round":`, int64(ev.Round))
+	}
+
+	// FreeRun.
+	if ev.Target != "" {
+		dst = appendStrField(dst, `,"target":`, ev.Target)
+	}
+	if ev.Strategy != "" {
+		dst = appendStrField(dst, `,"strategy":`, ev.Strategy)
+	}
+	if ev.Seed != 0 {
+		dst = appendIntField(dst, `,"seed":`, ev.Seed)
+	}
+	if ev.LogLines != 0 {
+		dst = appendIntField(dst, `,"log_lines":`, int64(ev.LogLines))
+	}
+	if len(ev.Observables) > 0 {
+		dst = append(dst, `,"observables":[`...)
+		for i, obs := range ev.Observables {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = appendJSONString(dst, obs)
+		}
+		dst = append(dst, ']')
+	}
+	if len(ev.Sites) > 0 {
+		dst = append(dst, `,"sites":[`...)
+		for i := range ev.Sites {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			sc := &ev.Sites[i]
+			dst = appendStrField(dst, `{"site":`, sc.Site)
+			dst = appendIntField(dst, `,"instances":`, int64(sc.Instances))
+			dst = append(dst, '}')
+		}
+		dst = append(dst, ']')
+	}
+
+	// RoundStart.
+	if ev.Window != 0 {
+		dst = appendIntField(dst, `,"window":`, int64(ev.Window))
+	}
+	if ev.RootRank != 0 {
+		dst = appendIntField(dst, `,"root_rank":`, int64(ev.RootRank))
+	}
+	if len(ev.Top) > 0 {
+		dst = append(dst, `,"top":[`...)
+		for i := range ev.Top {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			sr := &ev.Top[i]
+			dst = appendStrField(dst, `{"site":`, sr.Site)
+			dst = append(dst, `,"f":`...)
+			dst = appendFloat(dst, sr.F)
+			if sr.BestObs != "" {
+				dst = appendStrField(dst, `,"best_obs":`, sr.BestObs)
+			}
+			dst = appendIntField(dst, `,"tried":`, int64(sr.Tried))
+			dst = append(dst, '}')
+		}
+		dst = append(dst, ']')
+	}
+
+	// Decision.
+	if len(ev.Candidates) > 0 {
+		dst = append(dst, `,"candidates":[`...)
+		for i := range ev.Candidates {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			c := &ev.Candidates[i]
+			dst = appendStrField(dst, `{"site":`, c.Site)
+			dst = appendIntField(dst, `,"occ":`, int64(c.Occ))
+			dst = append(dst, '}')
+		}
+		dst = append(dst, ']')
+	}
+	if ev.CandidateCount != 0 {
+		dst = appendIntField(dst, `,"candidate_count":`, int64(ev.CandidateCount))
+	}
+	if ev.Budget != 0 {
+		dst = appendIntField(dst, `,"budget":`, int64(ev.Budget))
+	}
+
+	// Injected.
+	if ev.Site != "" {
+		dst = appendStrField(dst, `,"site":`, ev.Site)
+	}
+	if ev.Occ != 0 {
+		dst = appendIntField(dst, `,"occ":`, int64(ev.Occ))
+	}
+	if ev.Satisfied {
+		dst = append(dst, `,"satisfied":true`...)
+	}
+
+	// WindowGrow.
+	if ev.From != 0 {
+		dst = appendIntField(dst, `,"from":`, int64(ev.From))
+	}
+	if ev.To != 0 {
+		dst = appendIntField(dst, `,"to":`, int64(ev.To))
+	}
+	if ev.Clamped {
+		dst = append(dst, `,"clamped":true`...)
+	}
+
+	// Feedback.
+	if ev.Missing != 0 {
+		dst = appendIntField(dst, `,"missing":`, int64(ev.Missing))
+	}
+	if len(ev.Bumped) > 0 {
+		dst = append(dst, `,"bumped":[`...)
+		for i := range ev.Bumped {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			op := &ev.Bumped[i]
+			dst = appendStrField(dst, `{"obs":`, op.Obs)
+			dst = appendIntField(dst, `,"priority":`, int64(op.Priority))
+			dst = append(dst, '}')
+		}
+		dst = append(dst, ']')
+	}
+	if len(ev.Deltas) > 0 {
+		dst = append(dst, `,"deltas":[`...)
+		for i := range ev.Deltas {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			sd := &ev.Deltas[i]
+			dst = appendStrField(dst, `{"site":`, sd.Site)
+			dst = append(dst, `,"before":`...)
+			dst = appendFloat(dst, sd.Before)
+			dst = append(dst, `,"after":`...)
+			dst = appendFloat(dst, sd.After)
+			dst = append(dst, '}')
+		}
+		dst = append(dst, ']')
+	}
+
+	// Inconclusive / EnvInjected class.
+	if ev.Class != "" {
+		dst = appendStrField(dst, `,"class":`, ev.Class)
+	}
+	if ev.Detail != "" {
+		dst = appendStrField(dst, `,"detail":`, ev.Detail)
+	}
+	if ev.Actor != "" {
+		dst = appendStrField(dst, `,"actor":`, ev.Actor)
+	}
+
+	// EnvInjected.
+	if ev.Subject != "" {
+		dst = appendStrField(dst, `,"subject":`, ev.Subject)
+	}
+	if ev.Peer != "" {
+		dst = appendStrField(dst, `,"peer":`, ev.Peer)
+	}
+	if ev.Dur != 0 {
+		dst = appendIntField(dst, `,"dur":`, ev.Dur)
+	}
+
+	// Outcome.
+	if ev.Reproduced {
+		dst = append(dst, `,"reproduced":true`...)
+	}
+	if ev.Rounds != 0 {
+		dst = appendIntField(dst, `,"rounds":`, int64(ev.Rounds))
+	}
+	if ev.Reason != "" {
+		dst = appendStrField(dst, `,"reason":`, ev.Reason)
+	}
+	if ev.ScriptSeed != 0 {
+		dst = appendIntField(dst, `,"script_seed":`, ev.ScriptSeed)
+	}
+	return append(dst, '}')
+}
+
+func appendStrField(dst []byte, prefix, v string) []byte {
+	dst = append(dst, prefix...)
+	return appendJSONString(dst, v)
+}
+
+func appendIntField(dst []byte, prefix string, v int64) []byte {
+	dst = append(dst, prefix...)
+	return strconv.AppendInt(dst, v, 10)
+}
+
+// appendFloat renders a Float exactly as its MarshalJSON does (which
+// encoding/json then passes through unchanged): "+inf"/"-inf" strings for
+// infinities, strconv's shortest 'g' form otherwise — but appending in
+// place rather than through the allocating MarshalJSON shim. NaN never
+// occurs in priorities and is not supported (encoding/json rejects it too).
+func appendFloat(dst []byte, f Float) []byte {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return append(dst, `"+inf"`...)
+	case math.IsInf(v, -1):
+		return append(dst, `"-inf"`...)
+	}
+	return strconv.AppendFloat(dst, v, 'g', -1, 64)
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string literal, byte-identical to
+// encoding/json's default encoder: backslash escapes for \" \\ \b \f \n \r
+// \t, \u00XX for other control bytes, HTML-safe escapes for < > &, the
+// line separators U+2028/U+2029 escaped, and invalid UTF-8 bytes
+// rendered as \ufffd.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if b >= 0x20 && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&' {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}

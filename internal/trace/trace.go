@@ -224,17 +224,19 @@ type Sink interface {
 	Emit(ev *Event)
 }
 
-// Writer is a Sink encoding events as JSON Lines. Encoding errors are
-// sticky and reported by Err, so the search itself never fails on a bad
-// trace destination.
+// Writer is a Sink encoding events as JSON Lines. Write errors are sticky
+// and reported by Err, so the search itself never fails on a bad trace
+// destination. Events are rendered by AppendEvent into a buffer the Writer
+// reuses across emissions — a steady-state Emit allocates nothing.
 type Writer struct {
-	enc *json.Encoder
+	w   io.Writer
+	buf []byte
 	err error
 }
 
 // NewWriter returns a Writer sink emitting JSONL to w.
 func NewWriter(w io.Writer) *Writer {
-	return &Writer{enc: json.NewEncoder(w)}
+	return &Writer{w: w}
 }
 
 // Emit implements Sink.
@@ -242,7 +244,9 @@ func (s *Writer) Emit(ev *Event) {
 	if s.err != nil {
 		return
 	}
-	s.err = s.enc.Encode(ev)
+	s.buf = AppendEvent(s.buf[:0], ev)
+	s.buf = append(s.buf, '\n')
+	_, s.err = s.w.Write(s.buf)
 }
 
 // Err returns the first encoding error, if any.
@@ -332,11 +336,7 @@ func ReadAll(r io.Reader) ([]Event, error) {
 
 // Line renders an event's canonical JSONL form (no trailing newline).
 func Line(ev *Event) string {
-	data, err := json.Marshal(ev)
-	if err != nil {
-		return fmt.Sprintf("{\"event\":%q}", ev.Type)
-	}
-	return string(data)
+	return string(AppendEvent(nil, ev))
 }
 
 // Diff compares two event streams and describes the first maxDiffs
