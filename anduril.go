@@ -152,8 +152,9 @@ func Script(r *Report) string {
 
 // Dataset returns one of the dataset failures (f1..f22 mirror the paper's
 // 22 real-world issues; f23..f25 are env-rooted — crash, partition,
-// message delay) by id or issue id like "HB-25905", as a
-// ready-to-reproduce target.
+// message delay; f26..f29 are anti-entropy failures of the Dynamo-style
+// dyn target) by id or issue id like "HB-25905", as a ready-to-reproduce
+// target.
 func Dataset(id string) (*Target, error) {
 	s, ok := failures.ByID(id)
 	if !ok {

@@ -11,6 +11,7 @@
 //	anduril -failure f3 -checkpoint ck.json        # checkpoint the search every 10 rounds
 //	anduril -failure f3 -checkpoint ck.json -resume  # continue an interrupted search
 //	anduril -failure f23 -fault-classes=env,site   # widen the search to environment faults
+//	anduril -failure f26                           # dyn anti-entropy failure (convergence oracle)
 //
 // Exit codes: 0 = reproduced (or an informational command), 1 = internal
 // error, 2 = usage error, 3 = search exhausted without reproducing,
@@ -61,7 +62,7 @@ func main() {
 	var (
 		list      = flag.Bool("list", false, "list the dataset failures and exit")
 		listStrat = flag.Bool("list-strategies", false, "list the registered exploration strategies and exit")
-		failure   = flag.String("failure", "", "dataset failure to reproduce (f1..f25 or issue id)")
+		failure   = flag.String("failure", "", "dataset failure to reproduce (f1..f29 or issue id)")
 		strategy  = flag.String("strategy", string(anduril.FullFeedback), "exploration strategy (see -list-strategies)")
 		seed      = flag.Int64("seed", 1, "master seed (round r runs with seed+r)")
 		maxRounds = flag.Int("max-rounds", 500, "round cap (the paper's 24-hour analog)")

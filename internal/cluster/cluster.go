@@ -25,8 +25,26 @@ type Env struct {
 	Net  *simnet.Net
 	Disk *simdisk.Disk
 
-	nodes map[string]NodeControl
+	nodes       map[string]NodeControl
+	convergence func() Convergence
 }
+
+// Convergence is an eventually-consistent target's self-report of replica
+// agreement: whether every replica currently agrees with the acknowledged
+// client state, and the virtual time at which the current agreement began.
+// Oracles judge it with oracle.ConvergedWithin — "the replicas converged,
+// and did so before the bound" — instead of an immediate invariant check.
+type Convergence struct {
+	Tracked   bool     // a probe was registered for this run
+	Converged bool     // replicas agree with the expected state at the end
+	Since     des.Time // virtual time the current agreement began
+}
+
+// RegisterConvergence installs the run's convergence probe. Eventually-
+// consistent targets call it during workload construction; the probe is
+// read once when the round is snapshotted, so it must be cheap and must
+// not mutate system state.
+func (e *Env) RegisterConvergence(probe func() Convergence) { e.convergence = probe }
 
 // NodeControl is how a target system exposes a node to crash/restart
 // environment faults: Crash tears the node's runtime state down (stop
@@ -103,14 +121,15 @@ func WithEnvFaults() ExecOption {
 // Result snapshots what a round produced: the observables the explorer
 // feeds on and the state the oracle judges.
 type Result struct {
-	Env       *Env
-	Entries   []logging.Entry   // the round's log
-	Blocked   []string          // actors stuck on conditions at the end
-	Injected  inject.TraceEvent // the injected reach, if any
-	DidInject bool
-	Trace     []inject.TraceEvent // full reach trace (free runs only)
-	Counts    map[string]int      // per-site dynamic occurrence counts
-	Events    int                 // DES events executed
+	Env         *Env
+	Entries     []logging.Entry   // the round's log
+	Blocked     []string          // actors stuck on conditions at the end
+	Injected    inject.TraceEvent // the injected reach, if any
+	DidInject   bool
+	Trace       []inject.TraceEvent // full reach trace (free runs only)
+	Counts      map[string]int      // per-site dynamic occurrence counts
+	Events      int                 // DES events executed
+	Convergence Convergence         // replica-agreement probe (eventual-consistency targets)
 }
 
 // Workload builds a system inside env and schedules its driver; Execute
@@ -214,6 +233,9 @@ func snapshot(env *Env, n int, keepTrace bool) *Result {
 	}
 	if keepTrace {
 		res.Trace = env.FI.Trace()
+	}
+	if env.convergence != nil {
+		res.Convergence = env.convergence()
 	}
 	if ev, ok := env.FI.Injected(); ok {
 		res.Injected = ev

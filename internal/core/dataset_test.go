@@ -8,7 +8,8 @@ import (
 )
 
 // TestFullFeedbackReproducesEntireDataset is the headline regression: the
-// complete algorithm must reproduce all 22 real-world failures.
+// complete algorithm must reproduce every registered failure — the 22
+// real-world site-rooted ones plus the env-rooted and dyn scenarios.
 func TestFullFeedbackReproducesEntireDataset(t *testing.T) {
 	totalRounds := 0
 	for _, sc := range failures.All() {
@@ -27,7 +28,7 @@ func TestFullFeedbackReproducesEntireDataset(t *testing.T) {
 			t.Errorf("%s: script %v does not verify", sc.ID, *rep.Script)
 		}
 	}
-	t.Logf("all 22 reproduced, %d total rounds", totalRounds)
+	t.Logf("all %d reproduced, %d total rounds", len(failures.All()), totalRounds)
 }
 
 // TestStackTraceBaselineShape checks the paper's §8.4 finding: the
@@ -90,7 +91,7 @@ func TestCrashTunerShape(t *testing.T) {
 	if count < 2 || count > 8 {
 		t.Errorf("crashtuner reproduced %d failures; expected a small minority (paper: 4)", count)
 	}
-	t.Logf("crashtuner reproduced %d/22", count)
+	t.Logf("crashtuner reproduced %d/%d", count, len(failures.All()))
 }
 
 // TestDatasetSeedRobustness re-runs the headline regression under other

@@ -1,0 +1,156 @@
+package failures
+
+// The Dynamo-style anti-entropy scenarios (f26–f29): failures of an
+// eventually-consistent quorum store whose client-visible symptom is a
+// convergence violation — replicas that never agree again, or a deleted
+// key that comes back — rather than an unavailable service. Their oracles
+// pair log symptoms with the ConvergedWithin oracle over the target's
+// own anti-entropy audit.
+//
+// f26–f28 are rooted in error-return faults, but they opt into the env
+// search space too (the dyn target registers crash/restart controls and
+// its workloads survive environment faults), so they carry non-nil
+// FaultClasses and stay out of the paper's 22-scenario evaluation
+// dataset. f29 is rooted in a network partition and searches env
+// pseudo-sites only, like f23–f25.
+
+import (
+	"anduril/internal/cluster"
+	"anduril/internal/core"
+	"anduril/internal/inject"
+	"anduril/internal/oracle"
+	"anduril/internal/sys/dyn"
+)
+
+var dynSrc = []string{"internal/sys/dyn"}
+
+// dynClasses widens the search space of the site-rooted dyn scenarios to
+// both classes: the root causes are error returns, but the target is
+// env-fault compatible and the wider space exercises the two-pass
+// candidate window (site instances rank before env instances).
+var dynClasses = []string{core.ClassSite, core.ClassEnv}
+
+func init() {
+	register(&Scenario{
+		ID:          "f26",
+		Issue:       "DY-GOSSIP-STALE",
+		System:      "dyn",
+		Description: "Dropped gossip pull leaves the coordinator routing writes on a stale ring",
+		Kind:        inject.Socket,
+		Workload:    dyn.WorkloadMembership,
+		Horizon:     dyn.Horizon,
+		// The defect marks a failed ring pull as handled, so the node never
+		// retries and keeps routing on ring v1. Only the coordinator's own
+		// pull matters: a stale ring on a non-coordinator heals through read
+		// repair, but the coordinator keeps writing new keys to v1 owners
+		// the verify pass (routed by v2 audit ownership) never reconciles.
+		Oracle: oracle.And(
+			oracle.LogContains("digest marked handled"),
+			oracle.LogContains("anti-entropy audit: replicas diverged beyond grace period"),
+			oracle.Not(oracle.ConvergedWithin(dyn.MembershipConvergeBound)),
+		),
+		SrcDirs:      dynSrc,
+		RootSite:     "dyn.gossip.pull-ring",
+		FaultClasses: dynClasses,
+		FindRoot: func(free *cluster.Result, seed int64) (inject.Instance, bool) {
+			// Which pull occurrence belongs to the coordinator depends on
+			// gossip timing; trial-inject to find it.
+			s, _ := ByID("f26")
+			return searchOccurrence(s, free, seed, "dyn.gossip.pull-ring")
+		},
+	})
+
+	register(&Scenario{
+		ID:          "f27",
+		Issue:       "DY-REPAIR-RESURRECT",
+		System:      "dyn",
+		Description: "Delete acked despite failed tombstone persist; read repair resurrects the key",
+		Kind:        inject.IO,
+		Workload:    dyn.WorkloadTombstones,
+		Horizon:     dyn.Horizon,
+		// The defect acknowledges a delete whose tombstone was never
+		// applied, so one replica keeps the old version. The next quorum
+		// read merges the sets, finds the live version concurrent with
+		// nothing (the tombstone is missing), and read-repairs the deleted
+		// value back onto every owner.
+		Oracle: oracle.And(
+			oracle.LogContains("acknowledging delete anyway"),
+			oracle.LogContains("after delete (resurrected)"),
+			oracle.Not(oracle.ConvergedWithin(dyn.TombstoneConvergeBound)),
+		),
+		SrcDirs:      dynSrc,
+		RootSite:     "dyn.store.persist-tombstone",
+		FaultClasses: dynClasses,
+		FindRoot: func(free *cluster.Result, seed int64) (inject.Instance, bool) {
+			s, _ := ByID("f27")
+			return searchOccurrence(s, free, seed, "dyn.store.persist-tombstone")
+		},
+	})
+
+	register(&Scenario{
+		ID:          "f28",
+		Issue:       "DY-HINT-TOMBSTONE",
+		System:      "dyn",
+		Description: "Hint replayed without version metadata dominates a later tombstone",
+		Kind:        inject.Socket,
+		Workload:    dyn.WorkloadTombstones,
+		Horizon:     dyn.Horizon,
+		// A socket error mid-replay requeues the hint stripped of its
+		// vector clock; the retry fabricates a fresh coordinator version
+		// that dominates any tombstone written in between. Only replays
+		// racing a delete — hinted before it, retried after it — resurrect
+		// the key; every other occurrence stays tombstone-aware, which is
+		// what makes the reproducing window narrow.
+		Oracle: oracle.And(
+			oracle.LogContains("requeued without version metadata"),
+			oracle.LogContains("after delete (resurrected)"),
+			oracle.Not(oracle.ConvergedWithin(dyn.TombstoneConvergeBound)),
+		),
+		SrcDirs:      dynSrc,
+		RootSite:     "dyn.handoff.replay-hint",
+		FaultClasses: dynClasses,
+		FindRoot: func(free *cluster.Result, seed int64) (inject.Instance, bool) {
+			s, _ := ByID("f28")
+			return searchOccurrence(s, free, seed, "dyn.handoff.replay-hint")
+		},
+	})
+
+	register(&Scenario{
+		ID:          "f29",
+		Issue:       "DY-ENV-SPLIT",
+		System:      "dyn",
+		Description: "Partition mid-rebalance marks an undelivered range as migrated",
+		Kind:        inject.PartitionFault,
+		Workload:    dyn.WorkloadMembership,
+		Horizon:     dyn.Horizon,
+		// A partition cutting the transfer channel during the dyn4
+		// rebalance makes the range transfer fail; the defect marks the
+		// range migrated anyway and releases the source replicas, so the
+		// moved keys drop below quorum until a verify read happens to
+		// repair them — long after the convergence bound.
+		// LogContains compares digit-sanitized messages, so the "dyn1/dyn4"
+		// below matches whichever source node the cut isolates.
+		Oracle: oracle.And(
+			oracle.LogContains("env: partition dyn1/dyn4 cut"),
+			oracle.LogContains("marking range migrated"),
+			oracle.LogContains("anti-entropy audit: replicas diverged beyond grace period"),
+			oracle.Not(oracle.ConvergedWithin(dyn.MembershipConvergeBound)),
+		),
+		SrcDirs:      dynSrc,
+		RootSite:     "env/partition/dyn1~dyn4",
+		FaultClasses: envClasses,
+		FindRoot: func(free *cluster.Result, seed int64) (inject.Instance, bool) {
+			// The cut must isolate the node that sources a range transfer
+			// to dyn4 while the transfer is in flight; which channel that
+			// is depends on ring geometry, so search all three.
+			s, _ := ByID("f29")
+			for _, src := range []string{"dyn1", "dyn2", "dyn3"} {
+				site := inject.EnvSiteID(inject.EnvPartition, src, "dyn4")
+				if inst, ok := searchOccurrence(s, free, seed, site); ok {
+					return inst, true
+				}
+			}
+			return inject.Instance{}, false
+		},
+	})
+}

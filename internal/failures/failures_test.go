@@ -70,11 +70,11 @@ func TestGroundTruthStableAcrossSeeds(t *testing.T) {
 }
 
 func TestRegistryLookups(t *testing.T) {
-	if len(All()) != 25 {
+	if len(All()) != 29 {
 		t.Fatalf("only %d scenarios registered", len(All()))
 	}
 	// The paper's evaluation dataset is exactly the 22 site-only
-	// scenarios; the env-rooted ones are marked by their FaultClasses.
+	// scenarios; the env-searching ones are marked by their FaultClasses.
 	siteOnly, env := 0, 0
 	for _, s := range All() {
 		if s.SearchesEnv() {
@@ -83,8 +83,11 @@ func TestRegistryLookups(t *testing.T) {
 			siteOnly++
 		}
 	}
-	if siteOnly != 22 || env != 3 {
-		t.Fatalf("dataset split: %d site-only, %d env-rooted", siteOnly, env)
+	if siteOnly != 22 || env != 7 {
+		t.Fatalf("dataset split: %d site-only, %d env-searching", siteOnly, env)
+	}
+	if len(SiteDataset()) != 22 {
+		t.Fatalf("SiteDataset: %d scenarios", len(SiteDataset()))
 	}
 	if _, ok := ByID("f1"); !ok {
 		t.Fatal("f1 missing")
@@ -100,6 +103,9 @@ func TestRegistryLookups(t *testing.T) {
 	}
 	if len(BySystem("dfs")) != 8 {
 		t.Fatalf("dfs scenarios: %d", len(BySystem("dfs")))
+	}
+	if len(BySystem("dyn")) != 4 {
+		t.Fatalf("dyn scenarios: %d", len(BySystem("dyn")))
 	}
 }
 

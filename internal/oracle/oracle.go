@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"anduril/internal/cluster"
+	"anduril/internal/des"
 )
 
 // Oracle judges whether a round reproduced the target failure.
@@ -77,6 +78,24 @@ func FileExists(path string) Oracle {
 	return Oracle{
 		Name:  fmt.Sprintf("file %q exists", path),
 		Check: func(r *cluster.Result) bool { return r.Env.Disk.Exists(path) },
+	}
+}
+
+// ConvergedWithin is the eventual-consistency oracle: satisfied when the
+// round's convergence probe reports that every replica agrees with the
+// acknowledged client state and the agreement held from virtual time d or
+// earlier. Eventually-consistent targets (internal/sys/dyn) register the
+// probe via cluster.Env.RegisterConvergence; anti-entropy failures are
+// expressed as Not(ConvergedWithin(bound)) — the system either never
+// converged or only converged after the bound — rather than as an
+// immediate invariant violation.
+func ConvergedWithin(d des.Time) Oracle {
+	return Oracle{
+		Name: fmt.Sprintf("replicas converged within %v", d),
+		Check: func(r *cluster.Result) bool {
+			c := r.Convergence
+			return c.Tracked && c.Converged && c.Since <= d
+		},
 	}
 }
 

@@ -1,0 +1,257 @@
+package dyn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"anduril/internal/cluster"
+	"anduril/internal/des"
+	"anduril/internal/simnet"
+)
+
+// Config shapes one dyn cluster: which nodes run, which of them are in
+// the initial ring, the replication/quorum parameters, the virtual-node
+// count per member, and the tombstone garbage-collection grace period.
+type Config struct {
+	Nodes   []string // every running node (may exceed the ring)
+	Members []string // initial ring v1 membership
+	N       int      // replicas per key
+	R       int      // read quorum
+	W       int      // write quorum
+	VNodes  int      // virtual nodes per member
+	GCGrace des.Time // tombstones older than this are purged
+}
+
+// Cluster is one running dyn deployment plus the harness-side bookkeeping
+// the convergence audit needs: the acknowledged client state and the
+// divergence timeline.
+type Cluster struct {
+	env    *cluster.Env
+	cfg    Config
+	names  []string // sorted node names
+	byName map[string]*Node
+
+	// Convergence audit state (see audit.go).
+	expected       map[string]string
+	everAgreed     bool
+	divergent      bool
+	divergentSince des.Time
+	agreeSince     des.Time
+	graceLogged    bool
+}
+
+// Node is one dyn storage node: its view of the ring, its versioned
+// store, its causal contexts as a coordinator, and its hinted-handoff
+// queue.
+type Node struct {
+	c     *Cluster
+	name  string
+	alive bool
+
+	ring    *Ring
+	store   map[string][]Version // sibling sets, kept sorted
+	tombAt  map[string]des.Time  // when each key's tombstone was applied
+	context map[string]VClock    // per-key causal context (coordinator role)
+
+	gossipRound int
+	pulled      map[int]bool // ring versions already pulled (or marked handled)
+	pulling     map[int]bool // ring versions with a pull in flight
+
+	hints []*hint
+}
+
+var errNodeDown = errors.New("dyn: node is down")
+
+// New builds and starts a dyn cluster inside env: nodes, handlers,
+// gossip/GC/handoff loops, the convergence audit, and crash/restart
+// controls for environment faults.
+func New(env *cluster.Env, cfg Config) *Cluster {
+	c := &Cluster{
+		env:      env,
+		cfg:      cfg,
+		byName:   make(map[string]*Node, len(cfg.Nodes)),
+		expected: make(map[string]string),
+	}
+	c.names = append(c.names, cfg.Nodes...)
+	sort.Strings(c.names)
+	for _, name := range c.names {
+		n := &Node{
+			c:       c,
+			name:    name,
+			alive:   true,
+			ring:    NewRing(1, cfg.Members, cfg.VNodes),
+			store:   make(map[string][]Version),
+			tombAt:  make(map[string]des.Time),
+			context: make(map[string]VClock),
+			pulled:  map[int]bool{1: true},
+			pulling: make(map[int]bool),
+		}
+		c.byName[name] = n
+		net := env.Net
+		net.Handle(n.name, "dyn.op", n.name+"-op", n.onOp)
+		net.Handle(n.name, "dyn.store", n.name+"-store", n.onStore)
+		net.Handle(n.name, "dyn.read", n.name+"-read", n.onRead)
+		net.Handle(n.name, "dyn.digest", n.name+"-gossip", n.onDigest)
+		net.Handle(n.name, "dyn.pullring", n.name+"-gossip", n.onPullRing)
+		net.Handle(n.name, "dyn.transfer", n.name+"-migrate", n.onTransfer)
+		net.Handle(n.name, "dyn.release", n.name+"-migrate", n.onRelease)
+		node := n
+		env.RegisterNode(n.name, cluster.NodeControl{
+			Crash:   func() { node.alive = false },
+			Restart: func() { node.alive = true },
+		})
+		n.startGossip()
+		n.startHandoff()
+		n.startGC()
+	}
+	c.startAudit()
+	env.RegisterConvergence(c.convergence)
+	return c
+}
+
+// startGC purges tombstones older than the grace period. A key whose only
+// version is an old tombstone disappears entirely — which is exactly why
+// a replica that missed the delete can later resurrect it.
+func (n *Node) startGC() {
+	env := n.c.env
+	env.Sim.Every(n.name+"-gc", 250*des.Millisecond, func() {
+		if !n.alive {
+			return
+		}
+		now := env.Sim.Now()
+		for _, key := range sortedTimeKeys(n.tombAt) {
+			if now-n.tombAt[key] < n.c.cfg.GCGrace {
+				continue
+			}
+			set := n.store[key]
+			switch {
+			case len(set) == 0:
+				delete(n.tombAt, key)
+			case len(set) == 1 && set[0].Tomb:
+				delete(n.store, key)
+				delete(n.tombAt, key)
+				env.Log.Debugf("Purged tombstone of %s on %s", key, n.name)
+			}
+		}
+	})
+}
+
+// applyVersion folds an incoming version into the node's store, persisting
+// it first. Tombstones and records persist to separate logs.
+func (n *Node) applyVersion(key string, incoming Version) error {
+	env := n.c.env
+	in := incoming.clone()
+	if in.Tomb {
+		rec := []byte(fmt.Sprintf("%s tombstone %s\n", key, in.VC))
+		if err := env.Disk.Append("dyn.store.persist-tombstone", n.name+"/tombstones.log", rec); err != nil {
+			// Defect (f27 root): the failed tombstone persist is swallowed
+			// and the delete acknowledged anyway, so this replica never
+			// applies the tombstone and keeps serving the live value —
+			// which read repair will later push back to the replicas that
+			// did delete it.
+			env.Log.Errorf("Tombstone persist for %s failed on %s; acknowledging delete anyway", key, n.name)
+			return nil
+		}
+	} else {
+		rec := []byte(fmt.Sprintf("%s %s %s\n", key, in.Val, in.VC))
+		if err := env.Disk.Append("dyn.store.persist-record", n.name+"/commit.log", rec); err != nil {
+			env.Log.Warnf("Record persist for %s failed on %s", key, n.name)
+			return err
+		}
+	}
+	n.store[key] = addVersion(n.store[key], in)
+	if in.Tomb {
+		n.tombAt[key] = env.Sim.Now()
+	}
+	return nil
+}
+
+// onStore applies a replicated version (quorum write, read repair, or
+// hinted-handoff replay — they share the wire format).
+func (n *Node) onStore(m simnet.Message, respond func(interface{}, error)) {
+	if !n.alive {
+		respond(nil, errNodeDown)
+		return
+	}
+	req := m.Payload.(storeReq)
+	if err := n.applyVersion(req.Key, req.Ver); err != nil {
+		respond(nil, err)
+		return
+	}
+	respond("ok", nil)
+}
+
+// onRead returns the node's sibling set for a key.
+func (n *Node) onRead(m simnet.Message, respond func(interface{}, error)) {
+	if !n.alive {
+		respond(nil, errNodeDown)
+		return
+	}
+	req := m.Payload.(readReq)
+	respond(readResp{Vers: cloneVersions(n.store[req.Key])}, nil)
+}
+
+// onOp dispatches a client operation to the coordinator logic.
+func (n *Node) onOp(m simnet.Message, respond func(interface{}, error)) {
+	if !n.alive {
+		respond(nil, errNodeDown)
+		return
+	}
+	req := m.Payload.(opReq)
+	switch req.Op {
+	case "put":
+		n.coordPut(req.Key, req.Val, false, respond)
+	case "del":
+		n.coordPut(req.Key, "", true, respond)
+	default:
+		n.coordGet(req.Key, respond)
+	}
+}
+
+func cloneVersions(set []Version) []Version {
+	if len(set) == 0 {
+		return nil
+	}
+	out := make([]Version, len(set))
+	for i, v := range set {
+		out[i] = v.clone()
+	}
+	return out
+}
+
+func sortedTimeKeys(m map[string]des.Time) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedVerKeys(m map[string][]Version) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedBatchKeys(m map[string][]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func containsStr(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,203 @@
+package dyn
+
+// Property tests for the two algebraic cores of the package: vector-clock
+// dominance (what keeps concurrent writes as siblings and lets tombstones
+// win) and consistent-hash preference lists (what makes quorum overlap
+// hold across membership changes).
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// qvc is a quick generator for small vector clocks over the four-node
+// universe the workloads use. Small counters make equal and comparable
+// clocks common enough that the implication properties are exercised on
+// their non-vacuous side.
+type qvc VClock
+
+func (qvc) Generate(r *rand.Rand, _ int) reflect.Value {
+	vc := VClock{}
+	for _, node := range []string{"dyn1", "dyn2", "dyn3", "dyn4"} {
+		if n := r.Intn(4); n > 0 {
+			vc[node] = n
+		}
+	}
+	return reflect.ValueOf(qvc(vc))
+}
+
+func TestVClockMergeCommutative(t *testing.T) {
+	prop := func(a, b qvc) bool {
+		ab := VClock(a).Merge(VClock(b))
+		ba := VClock(b).Merge(VClock(a))
+		return ab.Equal(ba)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVClockMergeDominatesBoth(t *testing.T) {
+	prop := func(a, b qvc) bool {
+		m := VClock(a).Merge(VClock(b))
+		return m.Descends(VClock(a)) && m.Descends(VClock(b))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVClockDominanceAntisymmetric(t *testing.T) {
+	prop := func(a, b qvc) bool {
+		va, vb := VClock(a), VClock(b)
+		if va.Descends(vb) && vb.Descends(va) {
+			return va.Equal(vb)
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVClockConcurrentKeepsSiblings: folding two concurrent versions into
+// a set keeps both; folding a dominated version drops it.
+func TestVClockConcurrentKeepsSiblings(t *testing.T) {
+	prop := func(a, b qvc) bool {
+		va, vb := VClock(a), VClock(b)
+		set := addVersion(nil, Version{Val: "x", VC: va.Copy()})
+		set = addVersion(set, Version{Val: "y", VC: vb.Copy()})
+		switch {
+		case va.Concurrent(vb):
+			return len(set) == 2
+		case va.Equal(vb):
+			return len(set) == 1 && set[0].Val == "x"
+		case vb.Descends(va):
+			return len(set) == 1 && set[0].Val == "y"
+		default: // va strictly dominates vb
+			return len(set) == 1 && set[0].Val == "x"
+		}
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ringPool is the member universe the ring properties draw from.
+var ringPool = []string{"m1", "m2", "m3", "m4", "m5", "m6", "m7", "m8"}
+
+// qring is a quick generator for a random membership subset (size ≥ 3)
+// and a random key.
+type qring struct {
+	members []string
+	key     string
+}
+
+func (qring) Generate(r *rand.Rand, _ int) reflect.Value {
+	size := 3 + r.Intn(len(ringPool)-2)
+	perm := r.Perm(len(ringPool))
+	members := make([]string, size)
+	for i := 0; i < size; i++ {
+		members[i] = ringPool[perm[i]]
+	}
+	return reflect.ValueOf(qring{members: members, key: fmt.Sprintf("key-%d", r.Intn(1000))})
+}
+
+// TestRingPreferenceListDistinctOwners: every key is owned by exactly
+// min(n, |members|) distinct members.
+func TestRingPreferenceListDistinctOwners(t *testing.T) {
+	prop := func(q qring, nRaw uint8) bool {
+		n := 1 + int(nRaw)%4
+		ring := NewRing(1, q.members, 16)
+		pref := ring.PreferenceList(q.key, n)
+		want := n
+		if want > len(q.members) {
+			want = len(q.members)
+		}
+		if len(pref) != want {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, owner := range pref {
+			if seen[owner] || !ring.Contains(owner) {
+				return false
+			}
+			seen[owner] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRingStableUnderUnrelatedRemove: removing a member outside a key's
+// preference list leaves the preference list unchanged — the consistent-
+// hashing locality guarantee that keeps rebalances proportional to the
+// moved ranges.
+func TestRingStableUnderUnrelatedRemove(t *testing.T) {
+	prop := func(q qring) bool {
+		const n = 2
+		ring := NewRing(1, q.members, 16)
+		pref := ring.PreferenceList(q.key, n)
+		inPref := map[string]bool{}
+		for _, owner := range pref {
+			inPref[owner] = true
+		}
+		for _, victim := range q.members {
+			if inPref[victim] {
+				continue
+			}
+			var rest []string
+			for _, m := range q.members {
+				if m != victim {
+					rest = append(rest, m)
+				}
+			}
+			got := NewRing(2, rest, 16).PreferenceList(q.key, n)
+			if !reflect.DeepEqual(got, pref) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRingStableUnderAdd: adding a member changes a key's preference list
+// by at most inserting the newcomer — every other owner was an owner
+// before, and at most one old owner is displaced. This is the overlap
+// property the f29 scenario's quorum reasoning rests on.
+func TestRingStableUnderAdd(t *testing.T) {
+	prop := func(q qring) bool {
+		const n = 2
+		newcomer := "m9"
+		ring := NewRing(1, q.members, 16)
+		pref := ring.PreferenceList(q.key, n)
+		inPref := map[string]bool{}
+		for _, owner := range pref {
+			inPref[owner] = true
+		}
+		grown := NewRing(2, append(append([]string(nil), q.members...), newcomer), 16)
+		got := grown.PreferenceList(q.key, n)
+		overlap := 0
+		for _, owner := range got {
+			switch {
+			case owner == newcomer:
+			case inPref[owner]:
+				overlap++
+			default:
+				return false // an old non-owner appeared from nowhere
+			}
+		}
+		return overlap >= n-1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}

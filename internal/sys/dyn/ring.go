@@ -1,0 +1,82 @@
+package dyn
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is an immutable consistent-hash ring: each member contributes a
+// fixed number of virtual-node points, and a key's preference list is the
+// first N distinct members walking clockwise from the key's hash. Rings
+// are versioned; membership changes build a new ring with a higher
+// version and gossip carries it through the cluster.
+type Ring struct {
+	Version int
+	Members []string // sorted
+
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint32
+	node string
+}
+
+// NewRing builds a ring for the given members (order-insensitive) with
+// vnodes virtual points per member. Hashing is seed-independent — the
+// same membership always yields the same ring — so routing geometry is
+// identical across runs and seeds.
+func NewRing(version int, members []string, vnodes int) *Ring {
+	sorted := append([]string(nil), members...)
+	sort.Strings(sorted)
+	r := &Ring{Version: version, Members: sorted}
+	for _, m := range sorted {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: hash32(fmt.Sprintf("%s#%d", m, i)), node: m})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+func hash32(s string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(s))
+	return h.Sum32()
+}
+
+// PreferenceList returns the first n distinct members clockwise from the
+// key's hash — the key's owners under this ring. Fewer than n members
+// yields the full membership.
+func (r *Ring) PreferenceList(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.Members) {
+		n = len(r.Members)
+	}
+	kh := hash32(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= kh })
+	owners := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(owners) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			owners = append(owners, p.node)
+		}
+	}
+	return owners
+}
+
+// Contains reports whether node is a member of the ring.
+func (r *Ring) Contains(node string) bool {
+	i := sort.SearchStrings(r.Members, node)
+	return i < len(r.Members) && r.Members[i] == node
+}

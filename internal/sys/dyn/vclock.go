@@ -1,0 +1,173 @@
+// Package dyn is a Dynamo-style eventually-consistent key/value store on
+// the simulation kernel: gossip membership with per-round digests, a
+// consistent-hash ring with virtual nodes, vector-clock versioning with
+// sibling resolution, sloppy-quorum reads and writes (N/R/W configurable
+// per workload), read repair, and hinted handoff with tombstone-aware
+// replay. Unlike the other target systems, its failures are judged by an
+// eventual-consistency oracle — the replicas must converge on the
+// acknowledged client state within a bounded amount of virtual time — so
+// a defect can stay silent through every individual request and only
+// surface as divergence that anti-entropy never heals.
+package dyn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// VClock is a vector clock: per-coordinator event counters. The zero value
+// (nil map) is a valid empty clock.
+type VClock map[string]int
+
+// Copy returns an independent clock with the same counters. Clocks cross
+// actor boundaries inside messages, so every send and every apply copies.
+func (v VClock) Copy() VClock {
+	out := make(VClock, len(v)+1)
+	for node, n := range v {
+		out[node] = n
+	}
+	return out
+}
+
+// Merge returns the element-wise maximum of the two clocks.
+func (v VClock) Merge(o VClock) VClock {
+	out := v.Copy()
+	for node, n := range o {
+		if n > out[node] {
+			out[node] = n
+		}
+	}
+	return out
+}
+
+// Descends reports whether v ≥ o: v has seen every event o has. Equal
+// clocks descend each other; use Concurrent for strict incomparability.
+func (v VClock) Descends(o VClock) bool {
+	for node, n := range o {
+		if v[node] < n {
+			return false
+		}
+	}
+	return true
+}
+
+// Concurrent reports whether neither clock descends the other — the
+// sibling case a read must surface to resolution.
+func (v VClock) Concurrent(o VClock) bool {
+	return !v.Descends(o) && !o.Descends(v)
+}
+
+// Equal reports whether the clocks carry identical counters (ignoring
+// explicit zeros).
+func (v VClock) Equal(o VClock) bool { return v.Descends(o) && o.Descends(v) }
+
+// String renders the clock deterministically: entries sorted by node.
+func (v VClock) String() string {
+	nodes := make([]string, 0, len(v))
+	for node, n := range v {
+		if n != 0 {
+			nodes = append(nodes, node)
+		}
+	}
+	sort.Strings(nodes)
+	parts := make([]string, len(nodes))
+	for i, node := range nodes {
+		parts[i] = fmt.Sprintf("%s:%d", node, v[node])
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Version is one versioned value of a key: the payload, the clock that
+// wrote it, and whether it is a tombstone (a delete that must dominate
+// earlier writes until garbage collection).
+type Version struct {
+	Val  string
+	VC   VClock
+	Tomb bool
+}
+
+func (ver Version) clone() Version {
+	ver.VC = ver.VC.Copy()
+	return ver
+}
+
+// addVersion folds one incoming version into a sibling set: versions the
+// newcomer descends are dropped, a newcomer descended by (or equal to) an
+// existing version is dropped, and true concurrency keeps both as
+// siblings. The set stays sorted deterministically.
+func addVersion(set []Version, in Version) []Version {
+	kept := set[:0]
+	for _, s := range set {
+		if s.VC.Descends(in.VC) {
+			// Existing version already covers the newcomer (includes the
+			// duplicate-delivery case of equal clocks).
+			return set
+		}
+		if !in.VC.Descends(s.VC) {
+			kept = append(kept, s)
+		}
+	}
+	kept = append(kept, in)
+	sortVersions(kept)
+	return kept
+}
+
+// sortVersions orders a sibling set deterministically: tombstones last,
+// then by value, then by rendered clock.
+func sortVersions(set []Version) {
+	sort.Slice(set, func(i, j int) bool {
+		a, b := set[i], set[j]
+		if a.Tomb != b.Tomb {
+			return !a.Tomb
+		}
+		if a.Val != b.Val {
+			return a.Val < b.Val
+		}
+		return a.VC.String() < b.VC.String()
+	})
+}
+
+// siblings folds a pile of versions collected from several replicas into
+// the minimal sibling set.
+func siblings(collected []Version) []Version {
+	var set []Version
+	for _, v := range collected {
+		set = addVersion(set, v)
+	}
+	return set
+}
+
+// resolve picks the client-visible winner from a sibling set: the largest
+// non-tombstone value if any survives, otherwise the deletion. found is
+// false when the set is empty or resolves to a tombstone.
+func resolve(set []Version) (winner Version, found bool) {
+	if len(set) == 0 {
+		return Version{}, false
+	}
+	// sortVersions puts non-tombstones first ordered by value; the last
+	// non-tombstone is the deterministic application-level winner.
+	last := -1
+	for i, v := range set {
+		if !v.Tomb {
+			last = i
+		}
+	}
+	if last < 0 {
+		return set[len(set)-1], false
+	}
+	return set[last], true
+}
+
+// equalVersionSets reports whether two sibling sets hold the same versions.
+func equalVersionSets(a, b []Version) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Tomb != b[i].Tomb || a[i].Val != b[i].Val || !a[i].VC.Equal(b[i].VC) {
+			return false
+		}
+	}
+	return true
+}
