@@ -73,15 +73,34 @@ const (
 )
 
 // Fault classes for Options.FaultClasses / Target.FaultClasses: error-return
-// sites (the paper's space) and environment faults (crash/restart,
-// partition/heal, message drop/delay).
+// sites (the paper's space), environment faults (crash/restart,
+// partition/heal, message drop/delay), and combined-fault pairs (site×site
+// and site×env, for failures no single fault triggers).
 const (
 	ClassSite = core.ClassSite
 	ClassEnv  = core.ClassEnv
+	ClassPair = core.ClassPair
 )
 
 // ValidFaultClass reports whether a fault-class name is recognized.
 func ValidFaultClass(c string) bool { return core.ValidFaultClass(c) }
+
+// Addressing selects how injection plans name dynamic fault instances:
+// AddrOccurrence (the paper's per-site global reach counter, the default)
+// or AddrPath (distributed execution indexing — an instance is named by
+// its canonical call path like "client.put>coord.write[2]>store.persist#1",
+// which stays pinned to the same logical point across interleavings).
+type Addressing = core.Addressing
+
+// Addressing modes for Options.Addressing.
+const (
+	AddrOccurrence = core.AddrOccurrence
+	AddrPath       = core.AddrPath
+)
+
+// ValidAddressing reports whether an addressing-mode name is recognized
+// ("" selects the default occurrence mode).
+func ValidAddressing(a string) bool { return core.ValidAddressing(a) }
 
 // Strategies lists every registered strategy in registration order (the
 // built-ins follow Table 2 column order).
@@ -142,19 +161,38 @@ func VerifyMulti(t *Target, scripts []Instance, seed int64) bool {
 }
 
 // Script renders a report's deterministic reproduction plan (step 4.a).
+// Combined-fault scripts list both member faults; path-addressed scripts
+// show the canonical call path instead of the bare occurrence counter.
 func Script(r *Report) string {
 	if r == nil || !r.Reproduced || r.Script == nil {
 		return "no reproduction script: the failure was not reproduced"
+	}
+	if a, b, ok := inject.PairMembers(*r.Script); ok {
+		return fmt.Sprintf("inject %s as a fault pair: %s and %s (found in %d rounds)",
+			r.Target, memberRef(a), memberRef(b), r.Rounds)
+	}
+	if r.Script.Path != "" {
+		return fmt.Sprintf("inject %s at path %s (found in %d rounds)",
+			r.Target, r.Script.Path, r.Rounds)
 	}
 	return fmt.Sprintf("inject %s at site %s, dynamic occurrence %d (found in %d rounds)",
 		r.Target, r.Script.Site, r.Script.Occurrence, r.Rounds)
 }
 
+// memberRef renders one pair member for Script.
+func memberRef(m Instance) string {
+	if m.Path != "" {
+		return m.Path
+	}
+	return fmt.Sprintf("%s#%d", m.Site, m.Occurrence)
+}
+
 // Dataset returns one of the dataset failures (f1..f22 mirror the paper's
 // 22 real-world issues; f23..f25 are env-rooted — crash, partition,
 // message delay; f26..f29 are anti-entropy failures of the Dynamo-style
-// dyn target) by id or issue id like "HB-25905", as a ready-to-reproduce
-// target.
+// dyn target; f30..f31 are combined-fault failures that reproduce only
+// under a pair of faults) by id or issue id like "HB-25905", as a
+// ready-to-reproduce target.
 func Dataset(id string) (*Target, error) {
 	s, ok := failures.ByID(id)
 	if !ok {

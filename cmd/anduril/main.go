@@ -12,6 +12,8 @@
 //	anduril -failure f3 -checkpoint ck.json -resume  # continue an interrupted search
 //	anduril -failure f23 -fault-classes=env,site   # widen the search to environment faults
 //	anduril -failure f26                           # dyn anti-entropy failure (convergence oracle)
+//	anduril -failure f30                           # combined-fault failure (searched as fault pairs)
+//	anduril -failure f17 -addressing=path          # path-sensitive injection addressing
 //
 // Exit codes: 0 = reproduced (or an informational command), 1 = internal
 // error, 2 = usage error, 3 = search exhausted without reproducing,
@@ -62,7 +64,7 @@ func main() {
 	var (
 		list      = flag.Bool("list", false, "list the dataset failures and exit")
 		listStrat = flag.Bool("list-strategies", false, "list the registered exploration strategies and exit")
-		failure   = flag.String("failure", "", "dataset failure to reproduce (f1..f29 or issue id)")
+		failure   = flag.String("failure", "", "dataset failure to reproduce (f1..f31 or issue id)")
 		strategy  = flag.String("strategy", string(anduril.FullFeedback), "exploration strategy (see -list-strategies)")
 		seed      = flag.Int64("seed", 1, "master seed (round r runs with seed+r)")
 		maxRounds = flag.Int("max-rounds", 500, "round cap (the paper's 24-hour analog)")
@@ -77,7 +79,8 @@ func main() {
 		ckptEvery = flag.Int("checkpoint-every", 10, "checkpoint every N rounds (with -checkpoint)")
 		resume    = flag.Bool("resume", false, "resume an interrupted search from -checkpoint")
 		stopAfter = flag.Int("stop-after", 0, "interrupt the search after round N (exit 4; 0 = run to completion)")
-		classes   = flag.String("fault-classes", "", "comma-separated fault classes to search: site, env (default: the failure's own classes)")
+		classes   = flag.String("fault-classes", "", "comma-separated fault classes to search: site, env, pair (default: the failure's own classes)")
+		addrMode  = flag.String("addressing", "", "injection addressing mode: occurrence (default) or path")
 	)
 	flag.Parse()
 
@@ -104,10 +107,13 @@ func main() {
 		for _, c := range strings.Split(*classes, ",") {
 			c = strings.TrimSpace(c)
 			if !anduril.ValidFaultClass(c) {
-				usageErr("-fault-classes: unknown class %q (valid: %s, %s)", c, anduril.ClassSite, anduril.ClassEnv)
+				usageErr("-fault-classes: unknown class %q (valid: %s, %s, %s)", c, anduril.ClassSite, anduril.ClassEnv, anduril.ClassPair)
 			}
 			faultClasses = append(faultClasses, c)
 		}
+	}
+	if !anduril.ValidAddressing(*addrMode) {
+		usageErr("-addressing: unknown mode %q (valid: %s, %s)", *addrMode, anduril.AddrOccurrence, anduril.AddrPath)
 	}
 	if *iterative > 1 && (*ckptPath != "" || *resume) {
 		usageErr("-checkpoint/-resume are not supported with -iterative (each pass re-bakes the workload)")
@@ -178,6 +184,7 @@ func main() {
 		MaxRounds: *maxRounds, Window: *window, Adjust: *adjust,
 		Checkpoint: *ckptPath, CheckpointEvery: *ckptEvery,
 		StopAfterRound: *stopAfter, FaultClasses: faultClasses,
+		Addressing: anduril.Addressing(*addrMode),
 	}
 	if sink != nil {
 		opts.Trace = sink
@@ -221,6 +228,9 @@ func main() {
 			injected := "no candidate occurred (window doubled)"
 			if rd.Injected != nil {
 				injected = fmt.Sprintf("injected %s#%d", rd.Injected.Site, rd.Injected.Occurrence)
+				if rd.Injected.Path != "" {
+					injected = "injected " + rd.Injected.Path
+				}
 			}
 			fmt.Fprintf(out, "  round %3d: window=%d rank(root)=%d %s satisfied=%v\n",
 				rd.N, rd.WindowSize, rd.RootRank, injected, rd.Satisfied)

@@ -144,6 +144,12 @@ func touchesSite(ev *trace.Event, site string) bool {
 			return true
 		}
 	}
+	// A pair injection touches both member sites, not just the pseudo-site.
+	for _, m := range ev.Members {
+		if strings.Contains(m.Site, site) {
+			return true
+		}
+	}
 	for _, d := range ev.Deltas {
 		if strings.Contains(d.Site, site) {
 			return true
@@ -178,7 +184,7 @@ func render(ev *trace.Event) string {
 		fmt.Fprintf(&b, "round %3d: decide over %d candidates (window=%d, budget=%d):",
 			ev.Round, ev.CandidateCount, ev.Window, ev.Budget)
 		for _, c := range ev.Candidates {
-			fmt.Fprintf(&b, " %s#%d", c.Site, c.Occ)
+			fmt.Fprintf(&b, " %s", candidateRef(c))
 		}
 		if ev.CandidateCount > len(ev.Candidates) {
 			fmt.Fprintf(&b, " … (+%d more)", ev.CandidateCount-len(ev.Candidates))
@@ -188,7 +194,28 @@ func render(ev *trace.Event) string {
 		if ev.Satisfied {
 			verdict = "ORACLE SATISFIED"
 		}
-		fmt.Fprintf(&b, "round %3d: injected %s#%d — %s", ev.Round, ev.Site, ev.Occ, verdict)
+		fmt.Fprintf(&b, "round %3d: injected %s#%d", ev.Round, ev.Site, ev.Occ)
+		if ev.Path != "" {
+			fmt.Fprintf(&b, " at path %s", ev.Path)
+		}
+		fmt.Fprintf(&b, " — %s", verdict)
+	case trace.PairInjected:
+		verdict := "oracle not satisfied"
+		if ev.Satisfied {
+			verdict = "ORACLE SATISFIED"
+		}
+		fmt.Fprintf(&b, "round %3d: injected pair %s#%d", ev.Round, ev.Site, ev.Occ)
+		for i, m := range ev.Members {
+			sep := " ["
+			if i > 0 {
+				sep = " + "
+			}
+			fmt.Fprintf(&b, "%s%s", sep, candidateRef(m))
+		}
+		if len(ev.Members) > 0 {
+			b.WriteString("]")
+		}
+		fmt.Fprintf(&b, " — %s", verdict)
 	case trace.EnvInjected:
 		verdict := "oracle not satisfied"
 		if ev.Satisfied {
@@ -243,6 +270,15 @@ func render(ev *trace.Event) string {
 		return trace.Line(ev)
 	}
 	return b.String()
+}
+
+// candidateRef renders one window candidate or pair member: its canonical
+// path under path addressing, site#occ otherwise.
+func candidateRef(c trace.Candidate) string {
+	if c.Path != "" {
+		return c.Path
+	}
+	return fmt.Sprintf("%s#%d", c.Site, c.Occ)
 }
 
 func clip(s string, n int) string {

@@ -97,6 +97,13 @@ func NewEnv(seed int64, plan inject.Plan) *Env {
 		return "main"
 	}
 	fi.Now = sim.Now
+	fi.PathID = sim.CurPath
+	fi.PathPrefix = sim.PathString
+	if inject.PlanCarriesPath(plan) {
+		// Replaying a path-addressed script needs no flag, mirroring the
+		// env auto-enable: the plan itself proves paths are required.
+		sim.EnablePathTracking()
+	}
 	net := simnet.New(sim, fi, lg, des.Millisecond, 4*des.Millisecond)
 	disk := simdisk.New(fi)
 	env := &Env{Sim: sim, Log: lg, FI: fi, Net: net, Disk: disk, nodes: make(map[string]NodeControl)}
@@ -116,6 +123,19 @@ type ExecOption func(*Env)
 // free runs and mixed windows.
 func WithEnvFaults() ExecOption {
 	return func(e *Env) { e.FI.EnvEnabled = true }
+}
+
+// WithPathAddressing opts the round into path-sensitive injection
+// addressing: the kernel tracks the distributed call tree, and every
+// reach is assigned a canonical PathAddr string (inject.TraceEvent.Path).
+// Off by default so occurrence-mode rounds do no path bookkeeping; plans
+// that already carry path-addressed instances enable it on their own
+// (see inject.PlanCarriesPath).
+func WithPathAddressing() ExecOption {
+	return func(e *Env) {
+		e.Sim.EnablePathTracking()
+		e.FI.PathEnabled = true
+	}
 }
 
 // Result snapshots what a round produced: the observables the explorer

@@ -32,9 +32,12 @@ import (
 )
 
 // searchKind and searchVersion identify the explorer checkpoint envelope.
+// Version 2 added the addressing field and the pair fault class; version
+// 1 envelopes predate path-sensitive addressing and are rejected loudly
+// by the envelope layer rather than resumed into a different search.
 const (
 	searchKind    = "explorer-search"
-	searchVersion = 1
+	searchVersion = 2
 )
 
 // searchState is the serialized form of the engine's mutable search state
@@ -53,6 +56,12 @@ type searchState struct {
 	// canonical order; resuming with a different class set would search a
 	// different space. Absent (nil) in pre-env checkpoints = site-only.
 	FaultClasses []string `json:"fault_classes,omitempty"`
+
+	// Addressing records the run's instance-addressing mode; absent means
+	// occurrence addressing, the canonical default. Resuming a
+	// path-addressed search in occurrence mode (or vice versa) would match
+	// the tried set against different instance identities.
+	Addressing string `json:"addressing,omitempty"`
 
 	// Priorities are the feedback priorities I_k in observable order (the
 	// deterministic order setup extracts them in).
@@ -94,6 +103,9 @@ func (e *engine) snapshotState(round, window int) *searchState {
 	if len(st.FaultClasses) == 1 && st.FaultClasses[0] == ClassSite {
 		st.FaultClasses = nil // canonical site-only form, compatible with pre-env checkpoints
 	}
+	if e.o.Addressing != AddrOccurrence {
+		st.Addressing = string(e.o.Addressing)
+	}
 	for i, o := range e.obs {
 		st.Priorities[i] = o.priority
 	}
@@ -132,6 +144,8 @@ func (st *searchState) validate(t *Target, opts Options) error {
 		return fmt.Errorf("core: checkpoint used seed %d, resuming with %d", st.Seed, opts.Seed)
 	case !st.classesMatch(t, opts):
 		return fmt.Errorf("core: checkpoint searched fault classes %v, resuming run resolves differently", st.classNames())
+	case st.addressing() != opts.Addressing:
+		return fmt.Errorf("core: checkpoint used %s addressing, resuming with %s", st.addressing(), opts.Addressing)
 	case st.Round < 1:
 		return fmt.Errorf("core: checkpoint has invalid round %d", st.Round)
 	case st.Window < 1:
@@ -144,22 +158,33 @@ func (st *searchState) validate(t *Target, opts Options) error {
 	return nil
 }
 
+// addressing returns the checkpoint's recorded addressing mode, expanding
+// the canonical absent form to the occurrence default.
+func (st *searchState) addressing() Addressing {
+	if st.Addressing == "" {
+		return AddrOccurrence
+	}
+	return Addressing(st.Addressing)
+}
+
 // classesMatch reports whether the checkpoint's recorded fault classes
 // (nil = site-only, the pre-env form) equal the resuming run's
 // resolution: a site-only checkpoint resumed with env enumeration (or
 // vice versa) would silently search a different space.
 func (st *searchState) classesMatch(t *Target, opts Options) bool {
-	site, env := resolveClasses(t, opts)
-	ckSite, ckEnv := st.FaultClasses == nil, false
+	site, env, pair := resolveClasses(t, opts)
+	ckSite, ckEnv, ckPair := st.FaultClasses == nil, false, false
 	for _, c := range st.FaultClasses {
 		switch c {
 		case ClassSite:
 			ckSite = true
 		case ClassEnv:
 			ckEnv = true
+		case ClassPair:
+			ckPair = true
 		}
 	}
-	return site == ckSite && env == ckEnv
+	return site == ckSite && env == ckEnv && pair == ckPair
 }
 
 // classNames renders the recorded classes for error messages, expanding

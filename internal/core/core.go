@@ -33,6 +33,28 @@ import (
 // Strategy selects the exploration algorithm.
 type Strategy string
 
+// Addressing selects how injection plans name dynamic fault instances.
+type Addressing string
+
+// Addressing modes. AddrOccurrence is the paper's (site, occurrence)
+// currency: instance j of site i is "the j-th time the run reaches i".
+// AddrPath is distributed execution indexing: an instance is named by its
+// position in the distributed call tree — the chain of message-send edges
+// from the workload root down to the reach, e.g.
+// "client.put>coord.write[2]>dyn.store.persist#1". Path addresses are
+// stable across runs whose interleavings shuffle global occurrence
+// numbers, at the cost of per-reach path bookkeeping.
+const (
+	AddrOccurrence Addressing = "occurrence"
+	AddrPath       Addressing = "path"
+)
+
+// ValidAddressing reports whether an addressing-mode name is recognized
+// (for CLI validation). The empty string is valid and means the default.
+func ValidAddressing(a string) bool {
+	return a == "" || Addressing(a) == AddrOccurrence || Addressing(a) == AddrPath
+}
+
 // Strategies. FullFeedback is complete ANDURIL; the next five are the
 // ablation variants of §8.3; the last four are the §8.4 baselines.
 const (
@@ -95,14 +117,26 @@ type Options struct {
 	TrackRank     bool  // record the root site's rank each round (Figure 6)
 
 	// FaultClasses selects which fault classes the search explores:
-	// "site" (error-return sites, the paper's fault space) and/or "env"
+	// "site" (error-return sites, the paper's fault space), "env"
 	// (environment pseudo-sites: node crash/restart, pairwise
-	// partition/heal, message drop/delay). nil defaults to the target's
+	// partition/heal, message drop/delay), and/or "pair" (combined
+	// faults: two member instances injected in one round, addressed
+	// through pair/ pseudo-sites). nil defaults to the target's
 	// FaultClasses, and site-only when the target declares none. With
 	// env enabled, the free run counts env instances and the window
 	// admits them — but only after every selectable site-class instance
-	// has been tried, so the site search keeps its exact order.
+	// has been tried, so the site search keeps its exact order; pair
+	// instances likewise enter only when both the site and env spaces
+	// have nothing left to select.
 	FaultClasses []string
+
+	// Addressing selects how candidate instances are named in plans:
+	// AddrOccurrence (the default) uses the (site, occurrence) pairs of
+	// the paper, AddrPath uses distributed execution indexing (canonical
+	// call-path strings). Path addressing is seed-stable: the same
+	// failure reproduces at the same address across runs even when
+	// interleaving shifts renumber global occurrences.
+	Addressing Addressing
 
 	// RunsPerRound re-executes an unsuccessful injection under extra seeds
 	// and feeds back the combined logs — the §6 mitigation for runs whose
@@ -182,6 +216,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CheckpointEvery <= 0 {
 		o.CheckpointEvery = 10
+	}
+	if o.Addressing == "" {
+		o.Addressing = AddrOccurrence
 	}
 	if o.EventBudget == 0 {
 		o.EventBudget = DefaultEventBudget

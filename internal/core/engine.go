@@ -28,6 +28,13 @@ type instance struct {
 	occ        int
 	logPos     int
 	alignedPos float64 // position mapped onto the failure-log timeline
+	path       string  // canonical PathAddr string (path addressing only)
+
+	// memberPos holds each member's own aligned position for pair
+	// instances (both equal to alignedPos otherwise, unused): temporal
+	// ranking scores a pair by how close each fault lands to a relevant
+	// observable, not just where the combined effect completes.
+	memberPos [2]float64
 }
 
 // triedSet tracks which occurrences of a site have been injected. It is a
@@ -86,6 +93,20 @@ type siteState struct {
 	// evidence for this site, scored with envDistMatched.
 	marker string
 
+	// byPath maps canonical path strings to free-run occurrence identity
+	// (path addressing only): an injection run's reach is matched by path,
+	// and its tried-set entry is the free-run instance that path names.
+	byPath map[string]int
+
+	// Pair pseudo-site state (isPair set): the two member site IDs (sorted,
+	// equal for a self-pair), the members' env markers for marker-matched
+	// scoring ("" for error-return members), and the full pair Instance per
+	// enumerated instance, parallel to instances.
+	isPair      bool
+	pairSites   [2]string
+	pairMarkers [2]string
+	pairInsts   []inject.Instance
+
 	f       float64 // current priority F_i (smaller = higher priority)
 	bestObs int     // index of the observable realizing F_i
 }
@@ -139,8 +160,14 @@ type engine struct {
 	// site-class space is saturated and env candidates may enter.
 	siteClass bool
 	envClass  bool
+	pairClass bool
 	instSite  int
 	triedSite int
+
+	// pairWindow is the pair-round candidate list the current round armed,
+	// indexed like the PairPlan's rank order; tryOnce maps the plan's
+	// committed index back through it to the canonical pair Instance.
+	pairWindow []inject.Instance
 
 	// Resume state: the checkpoint being restored (nil on a fresh run),
 	// the round the restored search had completed, and its window size.
@@ -155,20 +182,20 @@ func newEngine(t *Target, o Options) *engine {
 	e := &engine{t: t, o: o, ctx: o.Context, report: &Report{
 		Target: t.ID, Issue: t.Issue, Strategy: o.Strategy,
 	}}
-	e.siteClass, e.envClass = resolveClasses(t, o)
+	e.siteClass, e.envClass, e.pairClass = resolveClasses(t, o)
 	return e
 }
 
 // resolveClasses resolves the enabled fault classes from Options (which
 // wins when set) or the Target, defaulting to site-only. Unknown names
 // are ignored here; callers validate with ValidFaultClass up front.
-func resolveClasses(t *Target, o Options) (site, env bool) {
+func resolveClasses(t *Target, o Options) (site, env, pair bool) {
 	classes := o.FaultClasses
 	if classes == nil {
 		classes = t.FaultClasses
 	}
 	if classes == nil {
-		return true, false
+		return true, false, false
 	}
 	for _, c := range classes {
 		switch c {
@@ -176,20 +203,25 @@ func resolveClasses(t *Target, o Options) (site, env bool) {
 			site = true
 		case ClassEnv:
 			env = true
+		case ClassPair:
+			pair = true
 		}
 	}
-	return site, env
+	return site, env, pair
 }
 
 // Fault-class names for Options.FaultClasses / Target.FaultClasses.
 const (
 	ClassSite = "site"
 	ClassEnv  = "env"
+	ClassPair = "pair"
 )
 
 // ValidFaultClass reports whether a class name is recognized (for CLI
 // validation).
-func ValidFaultClass(c string) bool { return c == ClassSite || c == ClassEnv }
+func ValidFaultClass(c string) bool {
+	return c == ClassSite || c == ClassEnv || c == ClassPair
+}
 
 // classList renders the engine's resolved fault classes canonically
 // (for the checkpoint envelope).
@@ -197,6 +229,9 @@ func (e *engine) classList() []string {
 	var out []string
 	if e.envClass {
 		out = append(out, ClassEnv)
+	}
+	if e.pairClass {
+		out = append(out, ClassPair)
 	}
 	if e.siteClass {
 		out = append(out, ClassSite)
@@ -222,14 +257,15 @@ func obsLabel(o *observable) string { return o.key.Thread + ": " + o.key.Msg }
 
 // traceInjected records the reach at which a round's fault fired. An
 // environment injection is a distinct event type carrying the decoded
-// class, subject node(s) and virtual-time duration.
+// class, subject node(s) and virtual-time duration; a pair injection
+// carries its two decoded member instances.
 func (e *engine) traceInjected(round int, inst inject.Instance, satisfied bool) {
 	if !e.tracing() {
 		return
 	}
 	ev := &trace.Event{
 		Type: trace.Injected, Round: round,
-		Site: inst.Site, Occ: inst.Occurrence, Satisfied: satisfied,
+		Site: inst.Site, Occ: inst.Occurrence, Path: inst.Path, Satisfied: satisfied,
 	}
 	if f, ok := inject.ParseEnvSite(inst.Site); ok {
 		ev.Type = trace.EnvInjected
@@ -237,6 +273,13 @@ func (e *engine) traceInjected(round int, inst inject.Instance, satisfied bool) 
 		ev.Subject = f.Subject
 		ev.Peer = f.Peer
 		ev.Dur = int64(f.Duration)
+	} else if a, b, ok := inject.PairMembers(inst); ok {
+		ev.Type = trace.PairInjected
+		ev.Path = "" // the member list already carries the references
+		ev.Members = []trace.Candidate{
+			{Site: a.Site, Occ: a.Occurrence, Path: a.Path},
+			{Site: b.Site, Occ: b.Occurrence, Path: b.Path},
+		}
 	}
 	e.emit(ev)
 }
@@ -254,7 +297,7 @@ func (e *engine) traceDecision(round, window int, candidates []inject.Instance) 
 	}
 	cs := make([]trace.Candidate, len(list))
 	for i, c := range list {
-		cs[i] = trace.Candidate{Site: c.Site, Occ: c.Occurrence}
+		cs[i] = trace.Candidate{Site: c.Site, Occ: c.Occurrence, Path: c.Path}
 	}
 	e.emit(&trace.Event{
 		Type: trace.Decision, Round: round, Window: window,
@@ -277,10 +320,31 @@ func (e *engine) bakedPlan(extra inject.Plan) inject.Plan {
 	return inject.Multi(plans...)
 }
 
+// matchesEvent reports whether an instance names the given injected
+// reach. A path-addressed instance matches by its canonical path (the
+// global occurrence of a reach may legitimately differ between runs).
+func matchesEvent(b inject.Instance, ev inject.TraceEvent) bool {
+	if b.Site != ev.Site {
+		return false
+	}
+	if b.Path != "" {
+		return b.Path == ev.Path
+	}
+	return b.Occurrence == ev.Occurrence
+}
+
 // isBaked reports whether an injected event is one of the baked faults.
+// A baked pair fault injects through its two members, so either member
+// reach counts as baked.
 func (e *engine) isBaked(ev inject.TraceEvent) bool {
 	for _, b := range e.baked {
-		if b.Site == ev.Site && b.Occurrence == ev.Occurrence {
+		if a, c, ok := inject.PairMembers(b); ok {
+			if matchesEvent(a, ev) || matchesEvent(c, ev) {
+				return true
+			}
+			continue
+		}
+		if matchesEvent(b, ev) {
 			return true
 		}
 	}
@@ -358,6 +422,7 @@ func (e *engine) finish(start time.Time) {
 			ev.Reason = trace.ReasonReproduced
 			ev.Site = e.report.Script.Site
 			ev.Occ = e.report.Script.Occurrence
+			ev.Path = e.report.Script.Path
 			ev.ScriptSeed = e.report.ScriptSeed
 		case e.report.Error != "":
 			ev.Reason = trace.ReasonError
@@ -384,6 +449,9 @@ func (e *engine) trial(seed int64, plan inject.Plan, keepTrace bool) (*cluster.R
 	var opts []cluster.ExecOption
 	if e.envClass {
 		opts = append(opts, cluster.WithEnvFaults())
+	}
+	if e.o.Addressing == AddrPath {
+		opts = append(opts, cluster.WithPathAddressing())
 	}
 	return cluster.TryExecute(e.ctx, seed, plan, keepTrace, e.t.Workload, e.t.Horizon, budget, opts...)
 }
@@ -452,6 +520,11 @@ func (e *engine) attemptRound(round int, plan inject.Plan, initTime time.Duratio
 	runStart := time.Now()
 	a := e.tryOnce(e.o.Seed+int64(round), plan, rd)
 	if a.err != nil && !isInterrupted(a.err) {
+		// Stateful plans (PairPlan's commit, Multi's fired counters) must
+		// start the retry trial fresh, or the retry replays half-spent state.
+		if r, ok := plan.(inject.Resetter); ok {
+			r.Reset()
+		}
 		a = e.tryOnce(e.o.Seed+int64(round)+retrySeedOffset, plan, rd)
 	}
 	rd.RunTime = time.Since(runStart)
@@ -471,14 +544,23 @@ func (e *engine) tryOnce(seed int64, plan inject.Plan, rd *Round) attempt {
 	if res != nil {
 		reqs, decTime := res.Env.FI.Decisions()
 		rd.InjectReqs, rd.DecideTime = reqs, decTime
-		// The round's searched injection is the one that is not baked.
+		// The round's searched injection is the one that is not baked. A
+		// pair round reports the committed pair instance (reconstructed
+		// from the plan's commit index) rather than a single member reach.
 		rd.Injected = nil
-		for _, ev := range res.Env.FI.InjectedAll() {
-			if e.isBaked(ev) {
-				continue
+		if pp, ok := plan.(*inject.PairPlan); ok {
+			if idx, committed := pp.Committed(); committed {
+				inst := e.pairWindow[idx]
+				rd.Injected = &inst
 			}
-			rd.Injected = &inject.Instance{Site: ev.Site, Occurrence: ev.Occurrence}
-			break
+		} else {
+			for _, ev := range res.Env.FI.InjectedAll() {
+				if e.isBaked(ev) {
+					continue
+				}
+				rd.Injected = &inject.Instance{Site: ev.Site, Occurrence: ev.Occurrence, Path: ev.Path}
+				break
+			}
 		}
 	}
 	if err != nil {
@@ -522,10 +604,22 @@ func (e *engine) recordInconclusive(a attempt, window int) {
 
 func (e *engine) markTried(inst inject.Instance) {
 	s, ok := e.siteIndex[inst.Site]
-	if !ok || !s.tried.Add(inst.Occurrence) {
+	if !ok {
 		return
 	}
-	if !inject.IsEnvSite(inst.Site) {
+	occ := inst.Occurrence
+	if inst.Path != "" && !inject.IsPairSite(inst.Site) {
+		// A path-addressed injection reports the run-local occurrence of
+		// the reach; the tried set is keyed by the free-run identity, so
+		// resolve the canonical path back through the site's path index.
+		if o, found := s.byPath[inst.Path]; found {
+			occ = o
+		}
+	}
+	if !s.tried.Add(occ) {
+		return
+	}
+	if !inject.IsEnvSite(inst.Site) && !inject.IsPairSite(inst.Site) {
 		e.triedSite++
 	}
 }

@@ -85,7 +85,7 @@ func (e *engine) feedbackLoop(spec feedbackSpec) {
 		initTime := time.Since(initStart)
 		e.traceDecision(round, window, candidates)
 
-		a := e.attemptRound(round, inject.Window(candidates), initTime, window, rootRank)
+		a := e.attemptRound(round, e.roundPlan(candidates), initTime, window, rootRank)
 		if isInterrupted(a.err) {
 			// Cancelled mid-trial: the round is not recorded, so resume
 			// re-executes it from the last checkpoint.
@@ -185,6 +185,24 @@ func (e *engine) feedbackLoop(spec feedbackSpec) {
 		e.report.Rounds = round
 		e.maybeCheckpoint(round, window)
 	}
+}
+
+// roundPlan builds the round's injection plan from the selected window.
+// A pair window (homogeneous by fillWindow construction) arms a PairPlan
+// in rank order and publishes the window so tryOnce can map the plan's
+// commit index back to the canonical pair Instance; every other window
+// is the ordinary first-reach-wins plan.
+func (e *engine) roundPlan(candidates []inject.Instance) inject.Plan {
+	if len(candidates) == 0 || !inject.IsPairSite(candidates[0].Site) {
+		return inject.Window(candidates)
+	}
+	pairs := make([][2]inject.Instance, len(candidates))
+	for i, c := range candidates {
+		a, b, _ := inject.PairMembers(c)
+		pairs[i] = [2]inject.Instance{a, b}
+	}
+	e.pairWindow = append(e.pairWindow[:0], candidates...)
+	return inject.PairWindow(pairs)
 }
 
 // traceFeedback records an Algorithm 2 update: the observables whose I_k

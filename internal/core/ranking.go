@@ -69,6 +69,27 @@ func (e *engine) computePriorities(useDistance, useFeedback bool) {
 	}
 }
 
+// memberDistance scores one pair member against one observable: the env
+// synthetic distance (marker-matched when the observable IS the member's
+// own injection marker) for env members, the closest causal-graph
+// template distance otherwise.
+func (e *engine) memberDistance(site, marker string, o *observable) float64 {
+	if d, isEnv := envSiteDistance(site); isEnv {
+		if marker != "" && o.key.Msg == marker {
+			return envDistMatched
+		}
+		return d
+	}
+	l := math.Inf(1)
+	dists := e.dist[site]
+	for _, tmpl := range o.templates {
+		if d, ok := dists[tmpl]; ok && float64(d) < l {
+			l = float64(d)
+		}
+	}
+	return l
+}
+
 // rescoreSite recomputes one site's F_i and best observable from scratch.
 func (e *engine) rescoreSite(s *siteState, useDistance, useFeedback bool) {
 	if e.sumBest != nil {
@@ -80,7 +101,16 @@ func (e *engine) rescoreSite(s *siteState, useDistance, useFeedback bool) {
 	envDist, isEnv := envSiteDistance(s.id)
 	for k, o := range e.obs {
 		l := math.Inf(1)
-		if isEnv {
+		if s.isPair {
+			// A pair reaches an observable through whichever member is
+			// closer: L is the min of the member distances, so a feedback
+			// bump on an observable either member reaches flows into the
+			// pair's priority exactly as it does into the member's.
+			l = e.memberDistance(s.pairSites[0], s.pairMarkers[0], o)
+			if l2 := e.memberDistance(s.pairSites[1], s.pairMarkers[1], o); l2 < l {
+				l = l2
+			}
+		} else if isEnv {
 			// Same scoring shape as sites — F = min_k (L + I_k) — with the
 			// synthetic class distance standing in for every L_{i,k}, so
 			// feedback adjustments flow into env sites unchanged. An
@@ -256,6 +286,17 @@ func (r *indexRanker) build() {
 	r.order = append([]*siteState(nil), e.rankedSites()...)
 	r.obsSites = make([][]*siteState, len(e.obs))
 	for _, s := range e.sites {
+		if s.isPair {
+			// A pair reaches whatever either member reaches, so a bump on
+			// any member-reachable observable dirties the pair.
+			for k, o := range e.obs {
+				if !math.IsInf(e.memberDistance(s.pairSites[0], s.pairMarkers[0], o), 1) ||
+					!math.IsInf(e.memberDistance(s.pairSites[1], s.pairMarkers[1], o), 1) {
+					r.obsSites[k] = append(r.obsSites[k], s)
+				}
+			}
+			continue
+		}
 		if inject.IsEnvSite(s.id) {
 			// An env site's synthetic distance reaches every observable,
 			// so any priority bump dirties it.

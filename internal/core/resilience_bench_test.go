@@ -44,4 +44,17 @@ func BenchmarkReproduce(b *testing.B) {
 			}
 		})
 	})
+	b.Run("path-addressing", func(b *testing.B) {
+		// Same search under AddrPath: prices the per-reach path
+		// bookkeeping (context tracking, canonical-string assembly, the
+		// per-site byPath index). Recorded in BENCH_core_addressing.json;
+		// the baseline variant above is the proof that none of it is paid
+		// in the default mode.
+		benchReproduce(b, func(int) core.Options {
+			return core.Options{
+				Strategy: core.FullFeedback, Seed: 1, MaxRounds: 60,
+				Addressing: core.AddrPath,
+			}
+		})
+	})
 }

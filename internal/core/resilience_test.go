@@ -339,6 +339,8 @@ func TestResumeRejectsMismatchedCheckpoint(t *testing.T) {
 		{"wrong target", target(t, "f3"), core.Options{Strategy: core.FullFeedback, Seed: 1, Window: 1}, "target"},
 		{"wrong seed", tgt, core.Options{Strategy: core.FullFeedback, Seed: 2, Window: 1}, "seed"},
 		{"wrong strategy", tgt, core.Options{Strategy: core.Random, Seed: 1, Window: 1}, "strategy"},
+		{"wrong addressing", tgt, core.Options{Strategy: core.FullFeedback, Seed: 1, Window: 1,
+			Addressing: core.AddrPath}, "addressing"},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -356,6 +358,50 @@ func TestResumeRejectsMismatchedCheckpoint(t *testing.T) {
 			t.Fatal("resume from a missing checkpoint succeeded")
 		}
 	})
+}
+
+// TestResumeRejectsLegacyCheckpointVersion: a version-1 envelope — written
+// before path-sensitive addressing and the pair fault class existed — must
+// be rejected loudly by the envelope layer, never resumed into a search
+// whose instance identities it cannot describe. The fixture is a faithful
+// copy of what a v1 release wrote.
+func TestResumeRejectsLegacyCheckpointVersion(t *testing.T) {
+	tgt := target(t, "f1")
+	_, err := core.Resume(tgt, core.Options{Strategy: core.FullFeedback, Seed: 1, Window: 1},
+		filepath.Join("testdata", "legacy_v1_checkpoint.json"))
+	if err == nil {
+		t.Fatal("resume accepted a version-1 checkpoint")
+	}
+	if !strings.Contains(err.Error(), "version 1, want 2") {
+		t.Fatalf("err = %v, want a version-skew message naming both versions", err)
+	}
+}
+
+// TestCheckpointRecordsAddressing: a path-addressed search round-trips its
+// addressing mode through the checkpoint, and the restored search resumes
+// without error under the same mode.
+func TestCheckpointRecordsAddressing(t *testing.T) {
+	tgt := target(t, "f1")
+	ck := filepath.Join(t.TempDir(), "ck.json")
+	opts := core.Options{Strategy: core.FullFeedback, Seed: 1, Window: 1,
+		Addressing: core.AddrPath, Checkpoint: ck, CheckpointEvery: 2, StopAfterRound: 4}
+	rep := core.Reproduce(tgt, opts)
+	if !rep.Interrupted {
+		t.Fatal("setup run not interrupted")
+	}
+
+	// Resuming in the default occurrence mode must fail: the tried set was
+	// recorded against path identities.
+	_, err := core.Resume(tgt, core.Options{Strategy: core.FullFeedback, Seed: 1, Window: 1}, ck)
+	if err == nil || !strings.Contains(err.Error(), "addressing") {
+		t.Fatalf("err = %v, want an addressing-mismatch error", err)
+	}
+
+	// Resuming under the recorded mode continues the search.
+	resumed := core.Options{Strategy: core.FullFeedback, Seed: 1, Window: 1, Addressing: core.AddrPath}
+	if _, err := core.Resume(tgt, resumed, ck); err != nil {
+		t.Fatalf("resume under the recorded addressing mode: %v", err)
+	}
 }
 
 // TestInterruptedTraceHasNoOutcome: the prefix property depends on an

@@ -41,12 +41,18 @@ func (s *Search) FreeCounts() map[string]int {
 func (s *Search) FailureLog() []logging.Entry { return s.e.t.FailureLog }
 
 // Candidates returns every candidate fault instance after causal-graph
-// pruning, in deterministic (site id, occurrence) order.
+// pruning, in deterministic (site id, occurrence) order. Pair
+// pseudo-sites are excluded: the enumerative baselines model published
+// single-fault injectors, and a pair candidate needs the feedback loop's
+// pair-plan machinery to execute.
 func (s *Search) Candidates() []inject.Instance {
 	var out []inject.Instance
 	for _, st := range s.e.sites {
+		if st.isPair {
+			continue
+		}
 		for _, inst := range st.instances {
-			out = append(out, inject.Instance{Site: st.id, Occurrence: inst.occ})
+			out = append(out, candidateFor(st, inst))
 		}
 	}
 	return out

@@ -14,15 +14,43 @@ import (
 // temporalDistance computes T_{i,j,k} for an instance against the site's
 // chosen observable: the number of log messages between the instance's
 // aligned position and the observable on the failure timeline (§5.2.3).
+//
+// Pair instances are scored member-wise instead: each member contributes
+// its own distance to whichever relevant observable is nearest to IT, and
+// the pair's T is the sum. Scoring only the combined position (the later
+// member) would leave the earlier fault unconstrained — hundreds of
+// combinations tie and the sweep degenerates to enumeration order —
+// whereas both faults of a real combined failure land near evidence of
+// their own effect.
 func (e *engine) temporalDistance(s *siteState, inst instance) float64 {
 	if s.bestObs < 0 {
 		return inst.alignedPos
+	}
+	if s.isPair {
+		return e.nearestObs(inst.memberPos[0]) + e.nearestObs(inst.memberPos[1])
 	}
 	best := math.Inf(1)
 	for _, p := range e.obs[s.bestObs].positions {
 		d := math.Abs(inst.alignedPos - float64(p))
 		if d < best {
 			best = d
+		}
+	}
+	return best
+}
+
+// nearestObs is the distance from an aligned position to the closest
+// relevant observable on the failure timeline, over ALL observables: pair
+// members routinely explain different log lines, so clamping both to the
+// site's single chosen observable would mis-rank every cross pair.
+func (e *engine) nearestObs(pos float64) float64 {
+	best := math.Inf(1)
+	for _, o := range e.obs {
+		for _, p := range o.positions {
+			d := math.Abs(pos - float64(p))
+			if d < best {
+				best = d
+			}
 		}
 	}
 	return best
@@ -53,40 +81,65 @@ func (e *engine) bestUntried(s *siteState, useTemporal bool, limit int) (instanc
 	return best, found
 }
 
+// candidateFor renders a selected instance as the plan-facing candidate:
+// pair sites hand out their precomputed pair Instance (site, occurrence
+// AND member references), everything else a (site, occurrence) pair plus
+// the canonical path under path addressing.
+func candidateFor(s *siteState, inst instance) inject.Instance {
+	if s.isPair {
+		return s.pairInsts[inst.occ-1]
+	}
+	return inject.Instance{Site: s.id, Occurrence: inst.occ, Path: inst.path}
+}
+
 // fillWindow selects the round's candidate window from the ranked
 // sites: the best untried instance of each site, in ranking order,
-// until the window is full. Selection is two-pass across fault
+// until the window is full. Selection is multi-pass across fault
 // classes — error-return sites first, environment pseudo-sites only
-// when no untried site-class instance can be selected at all — so
-// enabling env enumeration never changes which site instances a round
-// injects: the site search runs to exhaustion in its exact original
-// order before the env space opens.
+// when no untried site-class instance can be selected at all, and pair
+// pseudo-sites only when both single-fault spaces are spent — so
+// enabling a wider class never changes which instances the narrower
+// search injects: each class runs to exhaustion in its exact original
+// order before the next space opens. A window is therefore homogeneous
+// in the pair/non-pair sense, which is what lets the round build one
+// PairPlan for pair windows and one ordinary window plan otherwise.
 func (e *engine) fillWindow(ranked []*siteState, window int, useTemporal bool, limit int) []inject.Instance {
 	candidates := e.candBuf[:0]
 	for _, s := range ranked {
 		if len(candidates) >= window {
 			break
 		}
-		if inject.IsEnvSite(s.id) {
+		if s.isPair || inject.IsEnvSite(s.id) {
 			continue
 		}
 		if inst, ok := e.bestUntried(s, useTemporal, limit); ok {
-			candidates = append(candidates, inject.Instance{Site: s.id, Occurrence: inst.occ})
+			candidates = append(candidates, candidateFor(s, inst))
 		}
 	}
-	if len(candidates) > 0 || !e.envClass {
-		e.candBuf = candidates
-		return candidates
+	if len(candidates) == 0 && e.envClass {
+		for _, s := range ranked {
+			if len(candidates) >= window {
+				break
+			}
+			if !inject.IsEnvSite(s.id) {
+				continue
+			}
+			if inst, ok := e.bestUntried(s, useTemporal, limit); ok {
+				candidates = append(candidates, candidateFor(s, inst))
+			}
+		}
 	}
-	for _, s := range ranked {
-		if len(candidates) >= window {
-			break
-		}
-		if !inject.IsEnvSite(s.id) {
-			continue
-		}
-		if inst, ok := e.bestUntried(s, useTemporal, limit); ok {
-			candidates = append(candidates, inject.Instance{Site: s.id, Occurrence: inst.occ})
+	if len(candidates) == 0 && e.pairClass {
+		for _, s := range ranked {
+			if len(candidates) >= window {
+				break
+			}
+			if !s.isPair {
+				continue
+			}
+			if inst, ok := e.bestUntried(s, useTemporal, limit); ok {
+				candidates = append(candidates, candidateFor(s, inst))
+			}
 		}
 	}
 	e.candBuf = candidates
@@ -102,13 +155,19 @@ func (e *engine) multiplyCandidates(ranked []*siteState, window int) []inject.In
 		if math.IsInf(s.f, 1) {
 			continue
 		}
+		if s.isPair {
+			// The multiply ablation ranks single-fault instances only: a
+			// pair candidate needs its own plan shape, and mixing the two
+			// in one window would make the round's plan ambiguous.
+			continue
+		}
 		for _, inst := range s.instances {
 			if s.tried.Has(inst.occ) {
 				continue
 			}
 			t := e.temporalDistance(s, inst)
 			pairs = append(pairs, scoredPair{
-				inst:  inject.Instance{Site: s.id, Occurrence: inst.occ},
+				inst:  candidateFor(s, inst),
 				score: (s.f + 1) * (t + 1),
 			})
 		}

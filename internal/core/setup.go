@@ -26,6 +26,58 @@ func (e *engine) flatten(entries []logging.Entry) []logging.Entry {
 	return out
 }
 
+// pairSite enumerates the combined-fault pseudo-site over two member
+// sites (sa.id <= sb.id; sa == sb for a self-pair). Each pair instance
+// joins one member instance from each side — all cross combinations for
+// distinct members, unordered combinations (occ a < occ b) for a
+// self-pair — positioned on the timeline at the later member: the
+// combined effect completes only when the second fault lands. Returns
+// nil when no instance combination exists.
+func pairSite(sa, sb *siteState) *siteState {
+	st := &siteState{
+		id:          inject.PairSiteID(sa.id, sb.id),
+		isPair:      true,
+		pairSites:   [2]string{sa.id, sb.id},
+		pairMarkers: [2]string{sa.marker, sb.marker},
+	}
+	self := sa == sb
+	n := len(sa.instances) * len(sb.instances)
+	if self {
+		n = len(sa.instances) * (len(sa.instances) - 1) / 2
+	}
+	if n == 0 {
+		return nil
+	}
+	st.instances = make([]instance, 0, n)
+	st.pairInsts = make([]inject.Instance, 0, n)
+	for ai, a := range sa.instances {
+		bStart := 0
+		if self {
+			bStart = ai + 1
+		}
+		for _, b := range sb.instances[bStart:] {
+			pi := inject.PairInstance(
+				inject.Instance{Site: sa.id, Occurrence: a.occ, Path: a.path},
+				inject.Instance{Site: sb.id, Occurrence: b.occ, Path: b.path},
+			)
+			pi.Occurrence = len(st.instances) + 1
+			logPos, alignedPos := a.logPos, a.alignedPos
+			if b.logPos > logPos {
+				logPos = b.logPos
+			}
+			if b.alignedPos > alignedPos {
+				alignedPos = b.alignedPos
+			}
+			st.pairInsts = append(st.pairInsts, pi)
+			st.instances = append(st.instances, instance{
+				occ: pi.Occurrence, logPos: logPos, alignedPos: alignedPos,
+				memberPos: [2]float64{a.alignedPos, b.alignedPos},
+			})
+		}
+	}
+	return st
+}
+
 // sitesByID orders candidate sites by their unique ids.
 type sitesByID []*siteState
 
@@ -81,10 +133,17 @@ func (e *engine) setup(free *cluster.Result) {
 			occ:        ev.Occurrence,
 			logPos:     ev.LogPos,
 			alignedPos: e.align.Map(ev.LogPos),
+			path:       ev.Path,
 		})
 	}
+	// donors is the pair-member universe: the graph-pruned error-return
+	// sites plus (with env enabled) the env pseudo-sites. It is collected
+	// only when pair enumeration needs it, so default runs allocate
+	// nothing extra; with pair-only fault classes the member sites are
+	// still discovered here even though none enters e.sites itself.
+	var donors []*siteState
 	total := 0
-	if e.siteClass {
+	if e.siteClass || e.pairClass {
 		for siteID, dists := range e.dist {
 			reachesRelevant := false
 			for tmpl := range dists {
@@ -100,8 +159,14 @@ func (e *engine) setup(free *cluster.Result) {
 			if len(insts) == 0 {
 				continue
 			}
-			e.sites = append(e.sites, &siteState{id: siteID, instances: insts})
-			total += len(insts)
+			st := &siteState{id: siteID, instances: insts}
+			if e.pairClass {
+				donors = append(donors, st)
+			}
+			if e.siteClass {
+				e.sites = append(e.sites, st)
+				total += len(insts)
+			}
 		}
 	}
 	e.instSite = total
@@ -122,10 +187,51 @@ func (e *engine) setup(free *cluster.Result) {
 				st.marker = logdiff.Sanitize(m)
 			}
 			e.sites = append(e.sites, st)
+			if e.pairClass {
+				donors = append(donors, st)
+			}
 			total += len(insts)
 		}
 	}
+
+	// Combined-fault pseudo-sites: every unordered pair of donor sites
+	// (self-pairs included — two faults at one site, distinct instances)
+	// except env×env, whose joint blast radius adds nothing the members
+	// don't cover. Donors are sorted first so pair enumeration order — and
+	// with it every pair instance's occurrence identity — is deterministic.
+	if e.pairClass {
+		sort.Sort(sitesByID(donors))
+		for i, sa := range donors {
+			for j := i; j < len(donors); j++ {
+				sb := donors[j]
+				if inject.IsEnvSite(sa.id) && inject.IsEnvSite(sb.id) {
+					continue
+				}
+				if st := pairSite(sa, sb); st != nil {
+					e.sites = append(e.sites, st)
+					total += len(st.instances)
+				}
+			}
+		}
+	}
 	sort.Sort(sitesByID(e.sites))
+
+	// Under path addressing every free-run reach carries its canonical
+	// path; index it per site so an injection run's path-matched reach
+	// resolves back to the free-run instance it names.
+	if e.o.Addressing == AddrPath {
+		for _, s := range e.sites {
+			if s.isPair {
+				continue
+			}
+			s.byPath = make(map[string]int, len(s.instances))
+			for _, inst := range s.instances {
+				if inst.path != "" {
+					s.byPath[inst.path] = inst.occ
+				}
+			}
+		}
+	}
 	e.siteIndex = make(map[string]*siteState, len(e.sites))
 	for _, s := range e.sites {
 		e.siteIndex[s.id] = s

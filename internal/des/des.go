@@ -44,6 +44,7 @@ type event struct {
 	at       Time
 	seq      uint64 // tie-breaker: FIFO among events at the same instant
 	gen      uint64 // reuse generation, see above
+	path     int32  // path-tree node of the event's call context (see path.go)
 	actor    string
 	fn       func()
 	argFn    func(interface{}) // set instead of fn by PostArg/ScheduleArg
@@ -152,6 +153,13 @@ type Sim struct {
 	// interrupt a long simulation from outside virtual time.
 	watch    context.Context
 	watchHit bool
+
+	// Path tracking (see path.go): off by default, so occurrence-mode
+	// runs carry zero per-event path cost beyond copying one int32.
+	pathTracking bool
+	curPath      int32 // path node of the executing event, 0 outside dispatch
+	pathNodes    []pathNode
+	pathSeq      map[pathEdgeKey]int
 }
 
 // New creates a simulation with a deterministic RNG seed.
@@ -216,6 +224,7 @@ func (s *Sim) post(actor string, delay Time, fn func()) *event {
 	e.at = s.now + delay
 	s.seq++
 	e.seq = s.seq
+	e.path = s.curPath // inherit the poster's call context
 	e.actor = actor
 	e.fn = fn
 	s.queue.push(e)
@@ -392,6 +401,7 @@ func (s *Sim) Run(horizon Time) int {
 		}
 		s.now = e.at
 		s.current = e.actor
+		s.curPath = e.path
 		fn, argFn, arg := e.fn, e.argFn, e.arg
 		s.release(e) // recycle before dispatch; the work was captured above
 		if argFn != nil {
@@ -400,6 +410,7 @@ func (s *Sim) Run(horizon Time) int {
 			fn()
 		}
 		s.current = ""
+		s.curPath = 0
 		s.executed++
 	}
 	return s.executed - start

@@ -1,0 +1,100 @@
+// Distributed call-path tracking for path-sensitive injection
+// addressing. When enabled, every event carries the id of a *path node*
+// — its position in the distributed call tree. Posting an event inherits
+// the poster's node (timer chains and local steps do not deepen the
+// path); a message-send edge extends the tree with PathExtend, labelling
+// the child with the sending operation's fault-site ID and a per-edge
+// sequence number. The network layer restores a caller's node on RPC
+// replies, so path depth reflects RPC nesting, not run length.
+//
+// Node ids are assigned in creation order, which is deterministic for a
+// seeded run; only the canonical *strings* (stable across interleavings
+// by construction) leave the simulation.
+package des
+
+import (
+	"strconv"
+	"strings"
+)
+
+// pathNode is one interior node of the call tree. str caches the
+// canonical rendering of the full prefix up to this node, built lazily
+// so runs only pay for the paths the injection runtime actually reads.
+type pathNode struct {
+	parent int32
+	label  string
+	seq    int
+	str    string
+}
+
+// pathEdgeKey keys the per-(parent, label) sequence counters.
+type pathEdgeKey struct {
+	parent int32
+	label  string
+}
+
+// EnablePathTracking switches path bookkeeping on for this run. It must
+// be called before the workload starts; node 0 is the workload root.
+func (s *Sim) EnablePathTracking() {
+	if s.pathTracking {
+		return
+	}
+	s.pathTracking = true
+	s.pathNodes = []pathNode{{}}
+	s.pathSeq = make(map[pathEdgeKey]int)
+}
+
+// PathTracking reports whether path bookkeeping is on.
+func (s *Sim) PathTracking() bool { return s.pathTracking }
+
+// CurPath returns the path node of the executing event (0 at the root or
+// when tracking is off).
+func (s *Sim) CurPath() int32 { return s.curPath }
+
+// PathExtend creates a child node of the current context for one
+// message-send edge and returns its id. Each call is a distinct edge
+// instance: the sequence number counts sends of this label from this
+// context. Returns 0 (root) when tracking is off.
+func (s *Sim) PathExtend(label string) int32 {
+	if !s.pathTracking {
+		return 0
+	}
+	k := pathEdgeKey{s.curPath, label}
+	s.pathSeq[k]++
+	s.pathNodes = append(s.pathNodes, pathNode{parent: s.curPath, label: label, seq: s.pathSeq[k]})
+	return int32(len(s.pathNodes) - 1)
+}
+
+// PathString renders the canonical prefix of a path node: the '>'-joined
+// edge chain from the root, each edge "label" or "label[seq]" (seq
+// omitted when 1). The root renders as "".
+func (s *Sim) PathString(id int32) string {
+	if id <= 0 || int(id) >= len(s.pathNodes) {
+		return ""
+	}
+	n := &s.pathNodes[id]
+	if n.str == "" {
+		var b strings.Builder
+		if p := s.PathString(n.parent); p != "" {
+			b.WriteString(p)
+			b.WriteByte('>')
+		}
+		b.WriteString(n.label)
+		if n.seq != 1 {
+			b.WriteByte('[')
+			b.WriteString(strconv.Itoa(n.seq))
+			b.WriteByte(']')
+		}
+		n.str = b.String()
+	}
+	return n.str
+}
+
+// PostArgPath is PostArg with an explicit path context for the new event
+// instead of inheriting the dispatcher's current one. The network layer
+// uses it to hand a message delivery the send edge's child node, and to
+// restore the caller's node on an RPC reply.
+func (s *Sim) PostArgPath(actor string, delay Time, fn func(interface{}), arg interface{}, path int32) {
+	e := s.postArg(actor, delay, fn, arg)
+	e.path = path
+}

@@ -184,7 +184,7 @@ var (
 func siteBySystem(sys string) []*failures.Scenario {
 	var out []*failures.Scenario
 	for _, s := range failures.BySystem(sys) {
-		if !s.SearchesEnv() {
+		if s.FaultClasses == nil { // the Table 5 dataset: site-rooted only
 			out = append(out, s)
 		}
 	}

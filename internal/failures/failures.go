@@ -1,8 +1,10 @@
-// Package failures holds the 22-failure dataset (f1–f22) mirroring the
-// real-world issues of Table 5. Each scenario packages the paper's four
-// inputs for one failure: the target system (its code is what the analyzer
-// instruments), a driving workload, a failure oracle, and a production
-// failure log.
+// Package failures holds the failure dataset: the 22 site-rooted
+// scenarios mirroring the real-world issues of Table 5 (f1–f22), the
+// environment-rooted scenarios (f23–f25, f29), the anti-entropy
+// scenarios (f26–f28), and the combined-fault scenarios (f30–f31). Each
+// scenario packages the paper's four inputs for one failure: the target
+// system (its code is what the analyzer instruments), a driving
+// workload, a failure oracle, and a production failure log.
 //
 // The failure log is produced the way the paper does for tickets without
 // one (§8): the ground-truth fault is injected once, under a seed disjoint
@@ -38,9 +40,10 @@ type Scenario struct {
 	SrcDirs  []string // source directories the Instrumenter analyzes
 
 	// FaultClasses names the fault classes the explorer searches for this
-	// scenario (core.ClassSite / core.ClassEnv). Nil keeps the paper's
-	// site-only space — the f1–f22 dataset — while the env-rooted
-	// scenarios (f23+) opt into environment enumeration.
+	// scenario (core.ClassSite / core.ClassEnv / core.ClassPair). Nil
+	// keeps the paper's site-only space — the f1–f22 dataset — while the
+	// env-rooted scenarios (f23+) opt into environment enumeration and
+	// the combined-fault scenarios (f30–f31) into pair enumeration.
 	FaultClasses []string
 
 	// RootSite is the ground-truth root-cause fault site.
@@ -96,6 +99,17 @@ func (s *Scenario) Analyze() (*analysis.Result, error) {
 func (s *Scenario) SearchesEnv() bool {
 	for _, c := range s.FaultClasses {
 		if c == core.ClassEnv {
+			return true
+		}
+	}
+	return false
+}
+
+// SearchesPair reports whether the scenario's fault classes include
+// combined-fault pairs.
+func (s *Scenario) SearchesPair() bool {
+	for _, c := range s.FaultClasses {
+		if c == core.ClassPair {
 			return true
 		}
 	}
@@ -185,12 +199,12 @@ func scenarioNum(id string) int {
 
 // SiteDataset returns the paper's evaluation dataset: the 22 scenarios
 // rooted in error-return faults (nil FaultClasses), in dataset order.
-// The env-rooted scenarios are excluded so evaluation tables keep
-// reproducing Table 5 unchanged.
+// The env-rooted and pair-rooted scenarios are excluded so evaluation
+// tables keep reproducing Table 5 unchanged.
 func SiteDataset() []*Scenario {
 	var out []*Scenario
 	for _, s := range All() {
-		if !s.SearchesEnv() {
+		if s.FaultClasses == nil {
 			out = append(out, s)
 		}
 	}

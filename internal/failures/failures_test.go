@@ -70,21 +70,25 @@ func TestGroundTruthStableAcrossSeeds(t *testing.T) {
 }
 
 func TestRegistryLookups(t *testing.T) {
-	if len(All()) != 29 {
+	if len(All()) != 31 {
 		t.Fatalf("only %d scenarios registered", len(All()))
 	}
 	// The paper's evaluation dataset is exactly the 22 site-only
-	// scenarios; the env-searching ones are marked by their FaultClasses.
-	siteOnly, env := 0, 0
+	// scenarios; the env-searching and pair-searching ones are marked by
+	// their FaultClasses.
+	siteOnly, env, pair := 0, 0, 0
 	for _, s := range All() {
-		if s.SearchesEnv() {
+		switch {
+		case s.SearchesEnv():
 			env++
-		} else {
+		case s.SearchesPair():
+			pair++
+		default:
 			siteOnly++
 		}
 	}
-	if siteOnly != 22 || env != 7 {
-		t.Fatalf("dataset split: %d site-only, %d env-searching", siteOnly, env)
+	if siteOnly != 22 || env != 7 || pair != 2 {
+		t.Fatalf("dataset split: %d site-only, %d env-searching, %d pair-searching", siteOnly, env, pair)
 	}
 	if len(SiteDataset()) != 22 {
 		t.Fatalf("SiteDataset: %d scenarios", len(SiteDataset()))
@@ -101,10 +105,10 @@ func TestRegistryLookups(t *testing.T) {
 	if len(BySystem("zk")) != 5 {
 		t.Fatalf("zk scenarios: %d", len(BySystem("zk")))
 	}
-	if len(BySystem("dfs")) != 8 {
+	if len(BySystem("dfs")) != 9 {
 		t.Fatalf("dfs scenarios: %d", len(BySystem("dfs")))
 	}
-	if len(BySystem("dyn")) != 4 {
+	if len(BySystem("dyn")) != 5 {
 		t.Fatalf("dyn scenarios: %d", len(BySystem("dyn")))
 	}
 }

@@ -27,8 +27,8 @@
 package inject
 
 import (
+	"strconv"
 	"strings"
-	"time"
 
 	"anduril/internal/des"
 )
@@ -278,31 +278,17 @@ func (r *Runtime) ReachEnv(site string) (EnvFault, bool) {
 	rec.kind = EnvKind(f.Class)
 	occ := rec.count
 
-	inject := false
-	if r.plan != nil && len(r.injected) < r.budget {
-		start := time.Now()
-		inject = r.plan.Decide(site, occ)
-		r.decNanos += time.Since(start).Nanoseconds()
-		r.decisions++
+	// Env pseudo-sites are always root-addressed: their occurrence is
+	// already a deterministic per-run event index, so the path form is
+	// simply "site#occ" with no context edges.
+	path := ""
+	if r.pathActive() {
+		path = site + "#" + strconv.Itoa(occ)
 	}
+	inject := r.decide(site, occ, path)
 
 	if r.KeepTrace || inject {
-		ev := TraceEvent{Site: site, Occurrence: occ, Injected: inject}
-		if r.LogPos != nil {
-			ev.LogPos = r.LogPos()
-		}
-		if r.Thread != nil {
-			ev.Thread = r.Thread()
-		}
-		if r.Now != nil {
-			ev.Time = r.Now()
-		}
-		if r.KeepTrace {
-			r.trace = append(r.trace, ev)
-		}
-		if inject {
-			r.injected = append(r.injected, ev)
-		}
+		r.record(site, occ, path, inject)
 	}
 
 	if !inject {

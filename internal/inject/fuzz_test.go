@@ -311,3 +311,109 @@ func FuzzMultiPlan(f *testing.F) {
 		}
 	})
 }
+
+// FuzzPathPlan mirrors FuzzEnvPlan for the path-addressing layer: a
+// window mixing path- and occurrence-addressed candidates combined with
+// a pair plan must never panic, the pure window's DecidePath must be
+// idempotent, and a path-enabled runtime must respect the combined
+// budget and record parseable root-context paths for every injection.
+func FuzzPathPlan(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4}, []byte{1, 1, 2, 3, 5, 8})
+	f.Add([]byte{}, []byte{0})
+	f.Add([]byte{7, 7, 7, 7, 7, 7}, []byte{7, 7, 7, 7, 7, 7, 7})
+	f.Fuzz(func(t *testing.T, candBytes, reaches []byte) {
+		if len(candBytes) > 64 || len(reaches) > 512 {
+			t.Skip("keep the search space small")
+		}
+		// Window candidates alternate occurrence- and path-addressed
+		// forms; every fourth gets a non-root context edge, which a run
+		// whose reaches all happen at root context can never match.
+		cands := make([]Instance, 0, len(candBytes))
+		carries := false
+		for i, b := range candBytes {
+			inst := Instance{Site: fuzzSite(b), Occurrence: fuzzOcc(b >> 3)}
+			if i%2 == 0 {
+				addr := PathAddr{Site: inst.Site, N: inst.Occurrence}
+				if i%4 == 0 {
+					addr.Edges = []PathEdge{{Label: fuzzSite(b >> 1), Seq: fuzzOcc(b >> 5)}}
+				}
+				inst = Instance{Site: inst.Site, Path: addr.String()}
+				carries = true
+			}
+			cands = append(cands, inst)
+		}
+		window := Window(cands)
+		if PlanCarriesPath(window) != carries {
+			t.Fatalf("PlanCarriesPath=%v, candidates carry paths: %v", PlanCarriesPath(window), carries)
+		}
+
+		// The pure window's path dispatch is idempotent: repeated
+		// consultation with identical arguments agrees.
+		pd, ok := window.(PathDecider)
+		if !ok {
+			t.Fatal("window plan does not implement PathDecider")
+		}
+		probes := map[string]int{}
+		for _, b := range reaches {
+			site := fuzzSite(b)
+			probes[site]++
+			occ := probes[site]
+			path := fmt.Sprintf("%s#%d", site, occ)
+			first := pd.DecidePath(site, occ, path)
+			if pd.DecidePath(site, occ, path) != first {
+				t.Fatalf("window DecidePath(%s) not idempotent", path)
+			}
+		}
+
+		// Pair candidates from adjacent byte pairs (skipping degenerate
+		// same-instance pairs).
+		var pairs [][2]Instance
+		for i := 0; i+1 < len(candBytes); i += 2 {
+			a := Instance{Site: fuzzSite(candBytes[i]), Occurrence: fuzzOcc(candBytes[i] >> 3)}
+			b := Instance{Site: fuzzSite(candBytes[i+1]), Occurrence: fuzzOcc(candBytes[i+1] >> 3)}
+			if a == b {
+				continue
+			}
+			pairs = append(pairs, [2]Instance{a, b})
+		}
+		plan := Multi(window, PairWindow(pairs))
+		wantBudget := 1 + 2 // window + pair
+		if got := planBudget(plan); got != wantBudget {
+			t.Fatalf("combined budget %d, want %d", got, wantBudget)
+		}
+
+		// Drive the combined plan through a path-enabled runtime with
+		// root-context paths (nil PathID/PathPrefix hooks).
+		r := NewRuntime(plan)
+		r.PathEnabled = true
+		counts := map[string]int{}
+		seen := map[string]bool{}
+		fired := 0
+		for _, b := range reaches {
+			site := fuzzSite(b)
+			counts[site]++
+			if err := r.Reach(site, IO); err != nil {
+				key := fmt.Sprintf("%s#%d", site, counts[site])
+				if seen[key] {
+					t.Fatalf("fired twice at %s", key)
+				}
+				seen[key] = true
+				fired++
+			}
+		}
+		if fired > wantBudget {
+			t.Fatalf("fired %d times, budget %d", fired, wantBudget)
+		}
+		if len(r.InjectedAll()) != fired {
+			t.Fatalf("runtime recorded %d injections, saw %d", len(r.InjectedAll()), fired)
+		}
+		// Every injection's path parses back to a root-context address of
+		// its own site and per-context occurrence.
+		for _, ev := range r.InjectedAll() {
+			addr, ok := ParsePathAddr(ev.Path)
+			if !ok || addr.Site != ev.Site || len(addr.Edges) != 0 {
+				t.Fatalf("injected path %q does not parse as root context of %s", ev.Path, ev.Site)
+			}
+		}
+	})
+}

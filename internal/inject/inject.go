@@ -32,6 +32,7 @@ package inject
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"anduril/internal/des"
@@ -93,6 +94,7 @@ func AsFault(err error) (*Fault, bool) {
 type TraceEvent struct {
 	Site       string
 	Occurrence int      // 1-based per-site occurrence index
+	Path       string   // canonical PathAddr string (path addressing only)
 	Thread     string   // actor executing when the site was reached
 	LogPos     int      // logical time: log records emitted before the reach
 	Time       des.Time // virtual time of the reach
@@ -100,9 +102,15 @@ type TraceEvent struct {
 }
 
 // Instance names a dynamic fault candidate f_{i,j}: site i, occurrence j.
+// Under path addressing, Path carries the candidate's canonical PathAddr
+// string and takes precedence over the occurrence when matching; for pair
+// pseudo-sites it carries the two member references (see pair.go). Path
+// is empty in the default occurrence mode, so existing scripts, plans and
+// checkpoints are unchanged.
 type Instance struct {
 	Site       string
 	Occurrence int
+	Path       string
 }
 
 // Plan decides which reaches of fault sites inject a fault during a round.
@@ -117,18 +125,48 @@ type Plan interface {
 type exactPlan struct{ inst Instance }
 
 func (p exactPlan) Decide(site string, occ int) bool {
+	if p.inst.Path != "" {
+		return false // path-addressed: needs the DecidePath dispatch
+	}
+	return site == p.inst.Site && occ == p.inst.Occurrence
+}
+
+func (p exactPlan) DecidePath(site string, occ int, path string) bool {
+	if p.inst.Path != "" {
+		return path == p.inst.Path
+	}
 	return site == p.inst.Site && occ == p.inst.Occurrence
 }
 
 // Exact returns a plan injecting at exactly one dynamic instance — the
-// deterministic reproduction script of step 4.a in the workflow.
-func Exact(inst Instance) Plan { return exactPlan{inst} }
+// deterministic reproduction script of step 4.a in the workflow. A pair
+// instance decomposes into a Multi over its two members, so pair scripts
+// replay through the ordinary single-instance machinery.
+func Exact(inst Instance) Plan {
+	if a, b, ok := PairMembers(inst); ok {
+		return Multi(Exact(a), Exact(b))
+	}
+	return exactPlan{inst}
+}
 
 // windowPlan injects at the first reach that matches any candidate — the
-// flexible priority window of §5.2.5.
-type windowPlan struct{ candidates map[Instance]bool }
+// flexible priority window of §5.2.5. Path-addressed candidates are kept
+// in a separate index keyed by their canonical path string (a path names
+// one dynamic reach uniquely; the global occurrence of that reach may
+// legitimately differ between the free run and an injection run).
+type windowPlan struct {
+	candidates map[Instance]bool
+	byPath     map[string]bool
+}
 
 func (p windowPlan) Decide(site string, occ int) bool {
+	return p.candidates[Instance{Site: site, Occurrence: occ}]
+}
+
+func (p windowPlan) DecidePath(site string, occ int, path string) bool {
+	if p.byPath[path] {
+		return true
+	}
 	return p.candidates[Instance{Site: site, Occurrence: occ}]
 }
 
@@ -136,10 +174,18 @@ func (p windowPlan) Decide(site string, occ int) bool {
 // reached first in the round.
 func Window(candidates []Instance) Plan {
 	m := make(map[Instance]bool, len(candidates))
+	var paths map[string]bool
 	for _, c := range candidates {
+		if c.Path != "" {
+			if paths == nil {
+				paths = make(map[string]bool, len(candidates))
+			}
+			paths[c.Path] = true
+			continue
+		}
 		m[c] = true
 	}
-	return windowPlan{m}
+	return windowPlan{m, paths}
 }
 
 // Budgeter lets a plan request more than one injection per round. The
@@ -147,6 +193,14 @@ func Window(candidates []Instance) Plan {
 // iterative multi-fault extension composes plans and raises the budget.
 type Budgeter interface {
 	Budget() int
+}
+
+// Resetter restores a stateful plan (PairPlan's commit, Multi's fired
+// counters) to its pre-run state, so the round's retry under the next
+// derived seed starts a fresh trial instead of replaying half-spent
+// decision state. Stateless plans need not implement it.
+type Resetter interface {
+	Reset()
 }
 
 // multiPlan composes plans: each sub-plan may fire up to its own budget,
@@ -198,6 +252,38 @@ func (p *multiPlan) Decide(site string, occ int) bool {
 	return false
 }
 
+func (p *multiPlan) DecidePath(site string, occ int, path string) bool {
+	for i, sub := range p.plans {
+		if sub == nil || p.fired[i] >= p.budgets[i] {
+			continue
+		}
+		hit := false
+		if pd, ok := sub.(PathDecider); ok {
+			hit = pd.DecidePath(site, occ, path)
+		} else {
+			hit = sub.Decide(site, occ)
+		}
+		if hit {
+			p.fired[i]++
+			return true
+		}
+	}
+	return false
+}
+
+// Reset implements Resetter: clears the fired counters and resets any
+// stateful sub-plans.
+func (p *multiPlan) Reset() {
+	for i := range p.fired {
+		p.fired[i] = 0
+	}
+	for _, sub := range p.plans {
+		if r, ok := sub.(Resetter); ok {
+			r.Reset()
+		}
+	}
+}
+
 // Budget implements Budgeter: the sum of the sub-plans' budgets.
 func (p *multiPlan) Budget() int {
 	total := 0
@@ -214,14 +300,23 @@ type Runtime struct {
 	Thread func() string
 	Now    func() des.Time
 
-	plan Plan
+	// PathID and PathPrefix supply call-path context under path
+	// addressing: PathID returns the dispatcher's current path node and
+	// PathPrefix that node's canonical string form (cached by the
+	// simulation). Nil hooks mean every reach is at root context.
+	PathID     func() int32
+	PathPrefix func(int32) string
 
-	sites     map[string]*siteRec
-	trace     []TraceEvent
-	injected  []TraceEvent
-	budget    int
-	decisions int
-	decNanos  int64
+	plan     Plan
+	pathPlan PathDecider // plan's path dispatch, asserted once at creation
+
+	sites      map[string]*siteRec
+	pathCounts map[pathSiteKey]int // per-(path context, site) occurrence counters
+	trace      []TraceEvent
+	injected   []TraceEvent
+	budget     int
+	decisions  int
+	decNanos   int64
 
 	// KeepTrace controls whether every reach is recorded. The free run
 	// keeps the full trace (the explorer needs the instance timeline);
@@ -236,6 +331,24 @@ type Runtime struct {
 	// envAuto force-activates env sites when the plan itself carries env
 	// instances, so replaying an env reproduction script needs no flag.
 	envAuto bool
+
+	// PathEnabled opts the run into path-sensitive addressing: every
+	// reach is assigned a canonical PathAddr string built from the PathID/
+	// PathPrefix hooks, and plans implementing PathDecider are dispatched
+	// through DecidePath. When false — the default — no per-reach path
+	// bookkeeping happens, so occurrence-mode runs stay byte-identical.
+	PathEnabled bool
+
+	// pathAuto force-activates path addressing when the plan itself
+	// carries path-addressed instances, so replaying a path reproduction
+	// script needs no flag.
+	pathAuto bool
+}
+
+// pathSiteKey keys the per-context occurrence counters of path mode.
+type pathSiteKey struct {
+	path int32
+	site string
 }
 
 // NewRuntime creates an injection runtime executing the given plan
@@ -247,12 +360,15 @@ func NewRuntime(plan Plan) *Runtime {
 	if b, ok := plan.(Budgeter); ok {
 		budget = b.Budget()
 	}
+	pd, _ := plan.(PathDecider)
 	return &Runtime{
 		plan:      plan,
+		pathPlan:  pd,
 		budget:    budget,
 		sites:     make(map[string]*siteRec),
 		KeepTrace: true,
 		envAuto:   PlanCarriesEnv(plan),
+		pathAuto:  PlanCarriesPath(plan),
 	}
 }
 
@@ -275,6 +391,83 @@ func (r *Runtime) site(site string) *siteRec {
 	return rec
 }
 
+// pathActive reports whether path-sensitive addressing is on this run.
+func (r *Runtime) pathActive() bool { return r.PathEnabled || r.pathAuto }
+
+// PathActive exposes pathActive to the harness layers that extend call
+// paths on message sends; when false they skip all path bookkeeping.
+func (r *Runtime) PathActive() bool { return r.pathActive() }
+
+// pathFor builds the canonical path string of the current reach of a
+// site and advances the per-(context, site) occurrence counter.
+func (r *Runtime) pathFor(site string) string {
+	var pid int32
+	if r.PathID != nil {
+		pid = r.PathID()
+	}
+	if r.pathCounts == nil {
+		r.pathCounts = make(map[pathSiteKey]int)
+	}
+	k := pathSiteKey{pid, site}
+	r.pathCounts[k]++
+	n := r.pathCounts[k]
+	prefix := ""
+	if r.PathPrefix != nil {
+		prefix = r.PathPrefix(pid)
+	}
+	if prefix == "" {
+		return site + "#" + strconv.Itoa(n)
+	}
+	return prefix + ">" + site + "#" + strconv.Itoa(n)
+}
+
+// decide consults the plan for one reach. Every fault class — error
+// sites and env pseudo-sites alike — shares this single gate, so once
+// the round's injection budget is spent no class consults the plan
+// again: one Decide stream per round, short-circuited uniformly.
+func (r *Runtime) decide(site string, occ int, path string) bool {
+	if r.plan == nil || len(r.injected) >= r.budget {
+		return false
+	}
+	start := time.Now()
+	var inject bool
+	if r.pathPlan != nil && r.pathActive() {
+		inject = r.pathPlan.DecidePath(site, occ, path)
+	} else {
+		inject = r.plan.Decide(site, occ)
+	}
+	r.decNanos += time.Since(start).Nanoseconds()
+	r.decisions++
+	return inject
+}
+
+// record stamps and stores the trace event for one reach.
+func (r *Runtime) record(site string, occ int, path string, inject bool) {
+	ev := TraceEvent{Site: site, Occurrence: occ, Path: path, Injected: inject}
+	if r.LogPos != nil {
+		ev.LogPos = r.LogPos()
+	}
+	if r.Thread != nil {
+		ev.Thread = r.Thread()
+	}
+	if r.Now != nil {
+		ev.Time = r.Now()
+	}
+	if r.KeepTrace {
+		if r.trace == nil {
+			// A kept trace records every reach of the run — hundreds of
+			// events. Start sized for a typical free run so the append
+			// doubling does not copy the trace several times (lazily, so
+			// the many non-keeping round runtimes never pay for it).
+			r.trace = make([]TraceEvent, 0, 512)
+		}
+		r.trace = append(r.trace, ev)
+	}
+	if inject {
+		r.injected = append(r.injected, ev)
+	}
+}
+
 // Reach is the instrumented hook at a fault site. It records the dynamic
 // occurrence and returns a non-nil *Fault if the plan injects here.
 func (r *Runtime) Reach(site string, kind Kind) error {
@@ -283,38 +476,14 @@ func (r *Runtime) Reach(site string, kind Kind) error {
 	rec.kind = kind
 	occ := rec.count
 
-	inject := false
-	if r.plan != nil && len(r.injected) < r.budget {
-		start := time.Now()
-		inject = r.plan.Decide(site, occ)
-		r.decNanos += time.Since(start).Nanoseconds()
-		r.decisions++
+	path := ""
+	if r.pathActive() {
+		path = r.pathFor(site)
 	}
+	inject := r.decide(site, occ, path)
 
 	if r.KeepTrace || inject {
-		ev := TraceEvent{Site: site, Occurrence: occ, Injected: inject}
-		if r.LogPos != nil {
-			ev.LogPos = r.LogPos()
-		}
-		if r.Thread != nil {
-			ev.Thread = r.Thread()
-		}
-		if r.Now != nil {
-			ev.Time = r.Now()
-		}
-		if r.KeepTrace {
-			if r.trace == nil {
-				// A kept trace records every reach of the run — hundreds of
-				// events. Start sized for a typical free run so the append
-				// doubling does not copy the trace several times (lazily, so
-				// the many non-keeping round runtimes never pay for it).
-				r.trace = make([]TraceEvent, 0, 512)
-			}
-			r.trace = append(r.trace, ev)
-		}
-		if inject {
-			r.injected = append(r.injected, ev)
-		}
+		r.record(site, occ, path, inject)
 	}
 
 	if inject {

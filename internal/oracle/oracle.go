@@ -99,6 +99,22 @@ func ConvergedWithin(d des.Time) Oracle {
 	}
 }
 
+// Diverged is the complementary anti-entropy oracle: satisfied when the
+// target registered a convergence probe and the replicas never agreed
+// with the acknowledged client state by the end of the run. Unlike
+// Not(ConvergedWithin(d)) it is indifferent to *when* agreement happened
+// — only that it never did — which pins permanent divergence symptoms
+// such as a resurrected delete.
+func Diverged() Oracle {
+	return Oracle{
+		Name: "replicas diverged",
+		Check: func(r *cluster.Result) bool {
+			c := r.Convergence
+			return c.Tracked && !c.Converged
+		},
+	}
+}
+
 // Predicate wraps an arbitrary check.
 func Predicate(name string, check func(*cluster.Result) bool) Oracle {
 	return Oracle{Name: name, Check: check}

@@ -292,7 +292,10 @@ func (n *Net) Send(site string, msg Message) error {
 	if !ok {
 		return fmt.Errorf("simnet: %s has no handler for %s", msg.To, msg.Type)
 	}
-	n.sim.PostArg(ep.actor, n.latency()+extra, runSend, n.getSend(msg, ep))
+	// The delivery runs under a child path node labelled with the send
+	// site — the call-tree edge of path addressing. PathExtend returns 0
+	// (the root, what PostArg would inherit) when tracking is off.
+	n.sim.PostArgPath(ep.actor, n.latency()+extra, runSend, n.getSend(msg, ep), n.sim.PathExtend(site))
 	return nil
 }
 
@@ -308,6 +311,7 @@ type call struct {
 	cont      func(payload interface{}, err error)
 	respondFn func(payload interface{}, err error)
 	timer     des.Timer
+	path      int32 // caller's path node at Call time; replies restore it
 	done      bool
 
 	// payload/err hold the outcome for the synchronous-failure path
@@ -331,7 +335,10 @@ func (c *call) respond(payload interface{}, err error) {
 	} else {
 		r = &reply{c: c, payload: payload, err: err}
 	}
-	n.sim.PostArg(c.caller, n.latency(), runReply, r)
+	// The reply resumes the caller's continuation under the caller's own
+	// path node — an RPC return pops the call edge rather than extending
+	// it, so path depth tracks RPC nesting, not total message count.
+	n.sim.PostArgPath(c.caller, n.latency(), runReply, r, c.path)
 }
 
 // reply is one response in flight from responder to caller. Pooled: each
@@ -392,7 +399,7 @@ func (n *Net) Call(site string, msg Message, timeout des.Time, cont func(payload
 	if caller == "" {
 		caller = msg.From
 	}
-	c := &call{n: n, caller: caller, msg: msg, cont: cont}
+	c := &call{n: n, caller: caller, msg: msg, cont: cont, path: n.sim.CurPath()}
 
 	if err := n.fi.Reach(site, inject.Socket); err != nil {
 		c.err = err
@@ -420,5 +427,7 @@ func (n *Net) Call(site string, msg Message, timeout des.Time, cont func(payload
 		return // request lost in the environment; caller times out
 	}
 	c.respondFn = c.respond
-	n.sim.PostArg(ep.actor, n.latency()+extra, runCallRequest, c)
+	// The request leg, like a one-way send, extends the call tree by one
+	// edge labelled with the RPC's fault site.
+	n.sim.PostArgPath(ep.actor, n.latency()+extra, runCallRequest, c, n.sim.PathExtend(site))
 }

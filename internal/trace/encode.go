@@ -99,10 +99,7 @@ func AppendEvent(dst []byte, ev *Event) []byte {
 			if i > 0 {
 				dst = append(dst, ',')
 			}
-			c := &ev.Candidates[i]
-			dst = appendStrField(dst, `{"site":`, c.Site)
-			dst = appendIntField(dst, `,"occ":`, int64(c.Occ))
-			dst = append(dst, '}')
+			dst = appendCandidate(dst, &ev.Candidates[i])
 		}
 		dst = append(dst, ']')
 	}
@@ -120,8 +117,21 @@ func AppendEvent(dst []byte, ev *Event) []byte {
 	if ev.Occ != 0 {
 		dst = appendIntField(dst, `,"occ":`, int64(ev.Occ))
 	}
+	if ev.Path != "" {
+		dst = appendStrField(dst, `,"path":`, ev.Path)
+	}
 	if ev.Satisfied {
 		dst = append(dst, `,"satisfied":true`...)
+	}
+	if len(ev.Members) > 0 {
+		dst = append(dst, `,"members":[`...)
+		for i := range ev.Members {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = appendCandidate(dst, &ev.Members[i])
+		}
+		dst = append(dst, ']')
 	}
 
 	// WindowGrow.
@@ -203,6 +213,17 @@ func AppendEvent(dst []byte, ev *Event) []byte {
 	}
 	if ev.ScriptSeed != 0 {
 		dst = appendIntField(dst, `,"script_seed":`, ev.ScriptSeed)
+	}
+	return append(dst, '}')
+}
+
+// appendCandidate encodes one Candidate object, shared by the Decision
+// candidates array and the PairInjected members array.
+func appendCandidate(dst []byte, c *Candidate) []byte {
+	dst = appendStrField(dst, `{"site":`, c.Site)
+	dst = appendIntField(dst, `,"occ":`, int64(c.Occ))
+	if c.Path != "" {
+		dst = appendStrField(dst, `,"path":`, c.Path)
 	}
 	return append(dst, '}')
 }

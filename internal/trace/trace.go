@@ -47,6 +47,10 @@ const (
 	// same site/occ/satisfied fields plus the decoded class, subject
 	// node(s) and virtual-time duration of the fault's stateful phase.
 	EnvInjected EventType = "env_injected"
+	// PairInjected records a combined-fault injection in place of
+	// Injected: the pair pseudo-site and its occurrence, plus the two
+	// decoded member instances in Members.
+	PairInjected EventType = "pair_injected"
 	// WindowGrow records an empty round: no candidate occurred, so the
 	// flexible window doubled (clamped to the candidate-instance count).
 	WindowGrow EventType = "window_grow"
@@ -123,10 +127,13 @@ type SiteRank struct {
 	Tried   int    `json:"tried"`
 }
 
-// Candidate names one (site, occurrence) pair in a Decision window.
+// Candidate names one dynamic instance in a Decision window or a
+// PairInjected member list: the (site, occurrence) pair plus — under
+// path addressing — the canonical call-path string.
 type Candidate struct {
 	Site string `json:"site"`
 	Occ  int    `json:"occ"`
+	Path string `json:"path,omitempty"`
 }
 
 // ObsPriority reports one observable's feedback priority I_k after an
@@ -172,10 +179,13 @@ type Event struct {
 	CandidateCount int         `json:"candidate_count,omitempty"`
 	Budget         int         `json:"budget,omitempty"`
 
-	// Injected.
-	Site      string `json:"site,omitempty"`
-	Occ       int    `json:"occ,omitempty"`
-	Satisfied bool   `json:"satisfied,omitempty"`
+	// Injected. Path carries the canonical call-path address under path
+	// addressing; Members the decoded member instances of a PairInjected.
+	Site      string      `json:"site,omitempty"`
+	Occ       int         `json:"occ,omitempty"`
+	Path      string      `json:"path,omitempty"`
+	Satisfied bool        `json:"satisfied,omitempty"`
+	Members   []Candidate `json:"members,omitempty"`
 
 	// WindowGrow.
 	From    int  `json:"from,omitempty"`
@@ -295,7 +305,7 @@ func AggregateStats(events []Event) Stats {
 			s.WindowSizes[ev.Window]++
 		case Decision:
 			s.DecisionSz[ev.CandidateCount]++
-		case Injected, EnvInjected:
+		case Injected, EnvInjected, PairInjected:
 			s.Injections++
 			s.SiteTrials[ev.Site]++
 		case WindowGrow:
