@@ -74,12 +74,16 @@ const (
 
 // Fault classes for Options.FaultClasses / Target.FaultClasses: error-return
 // sites (the paper's space), environment faults (crash/restart,
-// partition/heal, message drop/delay), and combined-fault pairs (site×site
-// and site×env, for failures no single fault triggers).
+// partition/heal, message drop/delay), combined-fault pairs (site×site
+// and site×env, for failures no single fault triggers), and partial
+// failures (short writes, mid-append ENOSPC, torn renames, duplicated
+// deliveries, interrupted sends — errno-level faults that leave state a
+// clean all-or-nothing fault cannot).
 const (
-	ClassSite = core.ClassSite
-	ClassEnv  = core.ClassEnv
-	ClassPair = core.ClassPair
+	ClassSite    = core.ClassSite
+	ClassEnv     = core.ClassEnv
+	ClassPair    = core.ClassPair
+	ClassPartial = core.ClassPartial
 )
 
 // ValidFaultClass reports whether a fault-class name is recognized.
@@ -191,8 +195,10 @@ func memberRef(m Instance) string {
 // 22 real-world issues; f23..f25 are env-rooted — crash, partition,
 // message delay; f26..f29 are anti-entropy failures of the Dynamo-style
 // dyn target; f30..f31 are combined-fault failures that reproduce only
-// under a pair of faults) by id or issue id like "HB-25905", as a
-// ready-to-reproduce target.
+// under a pair of faults; f32..f34 are partial-failure failures — torn
+// rename, short write, duplicated delivery — that no clean fault
+// reproduces) by id or issue id like "HB-25905", as a ready-to-reproduce
+// target.
 func Dataset(id string) (*Target, error) {
 	s, ok := failures.ByID(id)
 	if !ok {

@@ -11,10 +11,10 @@ import (
 
 func TestDatasetLookup(t *testing.T) {
 	ids := DatasetIDs()
-	if len(ids) != 31 {
+	if len(ids) != 34 {
 		t.Fatalf("dataset size: %d", len(ids))
 	}
-	if ids[0] != "f1" || ids[21] != "f22" || ids[24] != "f25" || ids[30] != "f31" {
+	if ids[0] != "f1" || ids[21] != "f22" || ids[24] != "f25" || ids[30] != "f31" || ids[33] != "f34" {
 		t.Fatalf("dataset order: %v", ids)
 	}
 	if _, err := Dataset("f17"); err != nil {
@@ -30,7 +30,7 @@ func TestDatasetLookup(t *testing.T) {
 
 func TestDatasetCatalog(t *testing.T) {
 	cat := DatasetCatalog()
-	if len(cat) != 31 {
+	if len(cat) != 34 {
 		t.Fatalf("catalog size: %d", len(cat))
 	}
 	systems := map[string]int{}
@@ -41,9 +41,10 @@ func TestDatasetCatalog(t *testing.T) {
 		}
 	}
 	// The paper's 22 site-rooted failures plus the three env-rooted ones
-	// (f23 zk, f24 mq, f25 dfs), the four dyn anti-entropy ones, and the
-	// two combined-fault ones (f30 dyn, f31 dfs).
-	want := map[string]int{"zk": 5, "dfs": 9, "tablestore": 6, "mq": 4, "kvstore": 2, "dyn": 5}
+	// (f23 zk, f24 mq, f25 dfs), the four dyn anti-entropy ones, the two
+	// combined-fault ones (f30 dyn, f31 dfs), and the three
+	// partial-failure ones (f32 dfs, f33 zk, f34 mq).
+	want := map[string]int{"zk": 6, "dfs": 10, "tablestore": 6, "mq": 5, "kvstore": 2, "dyn": 5}
 	for sys, n := range want {
 		if systems[sys] != n {
 			t.Errorf("%s: %d scenarios, want %d", sys, systems[sys], n)

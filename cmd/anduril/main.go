@@ -13,6 +13,8 @@
 //	anduril -failure f23 -fault-classes=env,site   # widen the search to environment faults
 //	anduril -failure f26                           # dyn anti-entropy failure (convergence oracle)
 //	anduril -failure f30                           # combined-fault failure (searched as fault pairs)
+//	anduril -failure f32                           # partial-failure root cause (torn rename)
+//	anduril -failure f1 -fault-classes=site,partial  # widen a site search to partial failures
 //	anduril -failure f17 -addressing=path          # path-sensitive injection addressing
 //
 // Exit codes: 0 = reproduced (or an informational command), 1 = internal
@@ -64,7 +66,7 @@ func main() {
 	var (
 		list      = flag.Bool("list", false, "list the dataset failures and exit")
 		listStrat = flag.Bool("list-strategies", false, "list the registered exploration strategies and exit")
-		failure   = flag.String("failure", "", "dataset failure to reproduce (f1..f31 or issue id)")
+		failure   = flag.String("failure", "", "dataset failure to reproduce (f1..f34 or issue id)")
 		strategy  = flag.String("strategy", string(anduril.FullFeedback), "exploration strategy (see -list-strategies)")
 		seed      = flag.Int64("seed", 1, "master seed (round r runs with seed+r)")
 		maxRounds = flag.Int("max-rounds", 500, "round cap (the paper's 24-hour analog)")
@@ -79,7 +81,7 @@ func main() {
 		ckptEvery = flag.Int("checkpoint-every", 10, "checkpoint every N rounds (with -checkpoint)")
 		resume    = flag.Bool("resume", false, "resume an interrupted search from -checkpoint")
 		stopAfter = flag.Int("stop-after", 0, "interrupt the search after round N (exit 4; 0 = run to completion)")
-		classes   = flag.String("fault-classes", "", "comma-separated fault classes to search: site, env, pair (default: the failure's own classes)")
+		classes   = flag.String("fault-classes", "", "comma-separated fault classes to search: site, env, pair, partial (default: the failure's own classes)")
 		addrMode  = flag.String("addressing", "", "injection addressing mode: occurrence (default) or path")
 	)
 	flag.Parse()
@@ -107,7 +109,7 @@ func main() {
 		for _, c := range strings.Split(*classes, ",") {
 			c = strings.TrimSpace(c)
 			if !anduril.ValidFaultClass(c) {
-				usageErr("-fault-classes: unknown class %q (valid: %s, %s, %s)", c, anduril.ClassSite, anduril.ClassEnv, anduril.ClassPair)
+				usageErr("-fault-classes: unknown class %q (valid: %s, %s, %s, %s)", c, anduril.ClassSite, anduril.ClassEnv, anduril.ClassPair, anduril.ClassPartial)
 			}
 			faultClasses = append(faultClasses, c)
 		}

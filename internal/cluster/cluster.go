@@ -105,7 +105,7 @@ func NewEnv(seed int64, plan inject.Plan) *Env {
 		sim.EnablePathTracking()
 	}
 	net := simnet.New(sim, fi, lg, des.Millisecond, 4*des.Millisecond)
-	disk := simdisk.New(fi)
+	disk := simdisk.New(fi, lg)
 	env := &Env{Sim: sim, Log: lg, FI: fi, Net: net, Disk: disk, nodes: make(map[string]NodeControl)}
 	net.OnCrash = env.crashNode
 	return env
@@ -123,6 +123,17 @@ type ExecOption func(*Env)
 // free runs and mixed windows.
 func WithEnvFaults() ExecOption {
 	return func(e *Env) { e.FI.EnvEnabled = true }
+}
+
+// WithPartialFaults opts the round into partial-failure pseudo-sites:
+// the disk and network count (and can inject at) short-write,
+// enospc-after, torn-rename, eintr and dup-deliver instances. Off by
+// default so rounds without the partial class keep byte-identical
+// traces; plans that already carry partial instances enable counting on
+// their own (see inject.PlanCarriesPartial), so this option matters for
+// free runs and mixed windows.
+func WithPartialFaults() ExecOption {
+	return func(e *Env) { e.FI.PartialEnabled = true }
 }
 
 // WithPathAddressing opts the round into path-sensitive injection

@@ -32,12 +32,15 @@ import (
 )
 
 // searchKind and searchVersion identify the explorer checkpoint envelope.
-// Version 2 added the addressing field and the pair fault class; version
-// 1 envelopes predate path-sensitive addressing and are rejected loudly
-// by the envelope layer rather than resumed into a different search.
+// Version 3 added the partial fault class (a version-2 tried set may lack
+// partial occurrence counters a version-3 search would have accumulated);
+// version 2 added the addressing field and the pair fault class; version
+// 1 envelopes predate path-sensitive addressing. Older versions are
+// rejected loudly by the envelope layer rather than resumed into a
+// different search.
 const (
 	searchKind    = "explorer-search"
-	searchVersion = 2
+	searchVersion = 3
 )
 
 // searchState is the serialized form of the engine's mutable search state
@@ -172,8 +175,8 @@ func (st *searchState) addressing() Addressing {
 // resolution: a site-only checkpoint resumed with env enumeration (or
 // vice versa) would silently search a different space.
 func (st *searchState) classesMatch(t *Target, opts Options) bool {
-	site, env, pair := resolveClasses(t, opts)
-	ckSite, ckEnv, ckPair := st.FaultClasses == nil, false, false
+	site, env, pair, partial := resolveClasses(t, opts)
+	ckSite, ckEnv, ckPair, ckPartial := st.FaultClasses == nil, false, false, false
 	for _, c := range st.FaultClasses {
 		switch c {
 		case ClassSite:
@@ -182,9 +185,11 @@ func (st *searchState) classesMatch(t *Target, opts Options) bool {
 			ckEnv = true
 		case ClassPair:
 			ckPair = true
+		case ClassPartial:
+			ckPartial = true
 		}
 	}
-	return site == ckSite && env == ckEnv && pair == ckPair
+	return site == ckSite && env == ckEnv && pair == ckPair && partial == ckPartial
 }
 
 // classNames renders the recorded classes for error messages, expanding

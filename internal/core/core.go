@@ -101,8 +101,9 @@ type Target struct {
 	RootSite string
 
 	// FaultClasses are the fault classes the search explores for this
-	// target by default ("site", "env"); nil means site-only, the paper's
-	// fault space. Options.FaultClasses overrides per run.
+	// target by default ("site", "env", "pair", "partial"); nil means
+	// site-only, the paper's fault space. Options.FaultClasses overrides
+	// per run.
 	FaultClasses []string
 }
 
@@ -119,15 +120,17 @@ type Options struct {
 	// FaultClasses selects which fault classes the search explores:
 	// "site" (error-return sites, the paper's fault space), "env"
 	// (environment pseudo-sites: node crash/restart, pairwise
-	// partition/heal, message drop/delay), and/or "pair" (combined
-	// faults: two member instances injected in one round, addressed
-	// through pair/ pseudo-sites). nil defaults to the target's
-	// FaultClasses, and site-only when the target declares none. With
-	// env enabled, the free run counts env instances and the window
-	// admits them — but only after every selectable site-class instance
-	// has been tried, so the site search keeps its exact order; pair
-	// instances likewise enter only when both the site and env spaces
-	// have nothing left to select.
+	// partition/heal, message drop/delay), "partial" (partial-failure
+	// pseudo-sites at the sim-syscall boundary: short write, mid-append
+	// ENOSPC, torn rename, duplicated delivery, eintr), and/or "pair"
+	// (combined faults: two member instances injected in one round,
+	// addressed through pair/ pseudo-sites). nil defaults to the
+	// target's FaultClasses, and site-only when the target declares
+	// none. Wider classes never perturb narrower searches: the window
+	// admits env instances only after every selectable site-class
+	// instance has been tried, partial instances only after the env
+	// space is also spent, and pair instances last of all — each class
+	// runs to exhaustion in its exact original order.
 	FaultClasses []string
 
 	// Addressing selects how candidate instances are named in plans:
@@ -267,7 +270,12 @@ type Report struct {
 	// fault (node crash, partition, message drop/delay) rather than an
 	// error-return site.
 	EnvRooted bool `json:",omitempty"`
-	RoundLog  []Round
+
+	// PartialRooted marks a reproduction whose script is a partial
+	// failure (short write, mid-append ENOSPC, torn rename, duplicated
+	// delivery, eintr) rather than an error-return site.
+	PartialRooted bool `json:",omitempty"`
+	RoundLog      []Round
 	Elapsed   time.Duration
 
 	RelevantObservables int

@@ -29,6 +29,7 @@ type instance struct {
 	logPos     int
 	alignedPos float64 // position mapped onto the failure-log timeline
 	path       string  // canonical PathAddr string (path addressing only)
+	amp        int     // observed amplitude (partial pseudo-sites only)
 
 	// memberPos holds each member's own aligned position for pair
 	// instances (both equal to alignedPos otherwise, unused): temporal
@@ -88,9 +89,10 @@ type siteState struct {
 	instances []instance
 	tried     triedSet
 
-	// marker is the sanitized injection-marker line for env pseudo-sites
-	// ("" otherwise): an observable equal to it is direct failure-log
-	// evidence for this site, scored with envDistMatched.
+	// marker is the sanitized injection-marker line for env and partial
+	// pseudo-sites ("" otherwise): an observable equal to it is direct
+	// failure-log evidence for this site, scored with envDistMatched
+	// (partialDistMatched for partial sites).
 	marker string
 
 	// byPath maps canonical path strings to free-run occurrence identity
@@ -158,11 +160,12 @@ type engine struct {
 	// default). instSite counts the site-class candidate instances and
 	// triedSite how many are tried, so the window logic can tell when the
 	// site-class space is saturated and env candidates may enter.
-	siteClass bool
-	envClass  bool
-	pairClass bool
-	instSite  int
-	triedSite int
+	siteClass    bool
+	envClass     bool
+	pairClass    bool
+	partialClass bool
+	instSite     int
+	triedSite    int
 
 	// pairWindow is the pair-round candidate list the current round armed,
 	// indexed like the PairPlan's rank order; tryOnce maps the plan's
@@ -182,20 +185,20 @@ func newEngine(t *Target, o Options) *engine {
 	e := &engine{t: t, o: o, ctx: o.Context, report: &Report{
 		Target: t.ID, Issue: t.Issue, Strategy: o.Strategy,
 	}}
-	e.siteClass, e.envClass, e.pairClass = resolveClasses(t, o)
+	e.siteClass, e.envClass, e.pairClass, e.partialClass = resolveClasses(t, o)
 	return e
 }
 
 // resolveClasses resolves the enabled fault classes from Options (which
 // wins when set) or the Target, defaulting to site-only. Unknown names
 // are ignored here; callers validate with ValidFaultClass up front.
-func resolveClasses(t *Target, o Options) (site, env, pair bool) {
+func resolveClasses(t *Target, o Options) (site, env, pair, partial bool) {
 	classes := o.FaultClasses
 	if classes == nil {
 		classes = t.FaultClasses
 	}
 	if classes == nil {
-		return true, false, false
+		return true, false, false, false
 	}
 	for _, c := range classes {
 		switch c {
@@ -205,26 +208,29 @@ func resolveClasses(t *Target, o Options) (site, env, pair bool) {
 			env = true
 		case ClassPair:
 			pair = true
+		case ClassPartial:
+			partial = true
 		}
 	}
-	return site, env, pair
+	return site, env, pair, partial
 }
 
 // Fault-class names for Options.FaultClasses / Target.FaultClasses.
 const (
-	ClassSite = "site"
-	ClassEnv  = "env"
-	ClassPair = "pair"
+	ClassSite    = "site"
+	ClassEnv     = "env"
+	ClassPair    = "pair"
+	ClassPartial = "partial"
 )
 
 // ValidFaultClass reports whether a class name is recognized (for CLI
 // validation).
 func ValidFaultClass(c string) bool {
-	return c == ClassSite || c == ClassEnv || c == ClassPair
+	return c == ClassSite || c == ClassEnv || c == ClassPair || c == ClassPartial
 }
 
 // classList renders the engine's resolved fault classes canonically
-// (for the checkpoint envelope).
+// (for the checkpoint envelope): alphabetical, matching classNames.
 func (e *engine) classList() []string {
 	var out []string
 	if e.envClass {
@@ -232,6 +238,9 @@ func (e *engine) classList() []string {
 	}
 	if e.pairClass {
 		out = append(out, ClassPair)
+	}
+	if e.partialClass {
+		out = append(out, ClassPartial)
 	}
 	if e.siteClass {
 		out = append(out, ClassSite)
@@ -273,6 +282,11 @@ func (e *engine) traceInjected(round int, inst inject.Instance, satisfied bool) 
 		ev.Subject = f.Subject
 		ev.Peer = f.Peer
 		ev.Dur = int64(f.Duration)
+	} else if f, ok := inject.ParsePartialSite(inst.Site); ok {
+		ev.Type = trace.PartialInjected
+		ev.Class = string(f.Class)
+		ev.Subject = f.Subject
+		ev.Peer = f.Peer
 	} else if a, b, ok := inject.PairMembers(inst); ok {
 		ev.Type = trace.PairInjected
 		ev.Path = "" // the member list already carries the references
@@ -408,6 +422,7 @@ func (e *engine) finish(start time.Time) {
 	e.report.Elapsed += time.Since(start)
 	if e.report.Script != nil {
 		e.report.EnvRooted = inject.IsEnvSite(e.report.Script.Site)
+		e.report.PartialRooted = inject.IsPartialSite(e.report.Script.Site)
 	}
 	if e.report.Interrupted {
 		return
@@ -449,6 +464,9 @@ func (e *engine) trial(seed int64, plan inject.Plan, keepTrace bool) (*cluster.R
 	var opts []cluster.ExecOption
 	if e.envClass {
 		opts = append(opts, cluster.WithEnvFaults())
+	}
+	if e.partialClass {
+		opts = append(opts, cluster.WithPartialFaults())
 	}
 	if e.o.Addressing == AddrPath {
 		opts = append(opts, cluster.WithPathAddressing())
@@ -619,7 +637,7 @@ func (e *engine) markTried(inst inject.Instance) {
 	if !s.tried.Add(occ) {
 		return
 	}
-	if !inject.IsEnvSite(inst.Site) && !inject.IsPairSite(inst.Site) {
+	if !inject.IsEnvSite(inst.Site) && !inject.IsPairSite(inst.Site) && !inject.IsPartialSite(inst.Site) {
 		e.triedSite++
 	}
 }

@@ -9,6 +9,7 @@ package core_test
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -73,7 +74,15 @@ func TestPathAddressingReproducesDataset(t *testing.T) {
 			if rep.Script.Path == "" {
 				t.Fatalf("script %v carries no path address", *rep.Script)
 			}
-			if !inject.IsEnvSite(rep.Script.Site) {
+			if inject.IsPartialSite(rep.Script.Site) {
+				// Partial pseudo-sites are root-addressed: the path form is
+				// the site with the per-run occurrence appended (channel
+				// subjects may embed '>', which the path grammar reserves
+				// for edges, so the address is not ParsePathAddr-parseable).
+				if want := fmt.Sprintf("%s#%d", rep.Script.Site, rep.Script.Occurrence); rep.Script.Path != want {
+					t.Fatalf("script path %q, want root-addressed %q", rep.Script.Path, want)
+				}
+			} else if !inject.IsEnvSite(rep.Script.Site) {
 				addr, ok := inject.ParsePathAddr(rep.Script.Path)
 				if !ok {
 					t.Fatalf("script path %q does not parse", rep.Script.Path)

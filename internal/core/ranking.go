@@ -44,6 +44,45 @@ const (
 	envDistMatched = 1
 )
 
+// Partial pseudo-sites likewise have no causal-graph node; their
+// synthetic distances sit above the env band, so with both classes
+// enabled the cleaner, better-understood env faults are tried first.
+// Within the class the order encodes how much persistent state the
+// fault corrupts: a torn rename leaves a double ledger recovery must
+// untangle, a short write or mid-append ENOSPC corrupts one file's
+// tail, a duplicated delivery double-applies one message, and eintr
+// only surfaces a spurious error for a delivered message.
+const (
+	partialDistTorn   = 34
+	partialDistShort  = 36
+	partialDistENOSPC = 38
+	partialDistDup    = 40
+	partialDistEINTR  = 42
+
+	// partialDistMatched mirrors envDistMatched: an observable equal to a
+	// partial site's own injection marker is near-direct failure-log
+	// evidence for that site.
+	partialDistMatched = 1
+)
+
+// partialSiteDistance returns the synthetic distance for a partial site
+// (and whether the site is one).
+func partialSiteDistance(site string) (float64, bool) {
+	switch inject.PartialClassOf(site) {
+	case inject.PartialTornRename:
+		return partialDistTorn, true
+	case inject.PartialShortWrite:
+		return partialDistShort, true
+	case inject.PartialENOSPC:
+		return partialDistENOSPC, true
+	case inject.PartialDupDeliver:
+		return partialDistDup, true
+	case inject.PartialEINTR:
+		return partialDistEINTR, true
+	}
+	return 0, false
+}
+
 // envSiteDistance returns the synthetic distance for an env site (and
 // whether the site is one).
 func envSiteDistance(site string) (float64, bool) {
@@ -99,6 +138,7 @@ func (e *engine) rescoreSite(s *siteState, useDistance, useFeedback bool) {
 	s.bestObs = -1
 	dists := e.dist[s.id]
 	envDist, isEnv := envSiteDistance(s.id)
+	partialDist, isPartial := partialSiteDistance(s.id)
 	for k, o := range e.obs {
 		l := math.Inf(1)
 		if s.isPair {
@@ -119,6 +159,14 @@ func (e *engine) rescoreSite(s *siteState, useDistance, useFeedback bool) {
 			l = envDist
 			if s.marker != "" && o.key.Msg == s.marker {
 				l = envDistMatched
+			}
+		} else if isPartial {
+			// Partial sites score exactly like env sites: the synthetic
+			// class distance stands in for every L_{i,k}, and an observable
+			// equal to the site's own marker is a near-direct hit.
+			l = partialDist
+			if s.marker != "" && o.key.Msg == s.marker {
+				l = partialDistMatched
 			}
 		} else {
 			for _, tmpl := range o.templates {
@@ -297,9 +345,9 @@ func (r *indexRanker) build() {
 			}
 			continue
 		}
-		if inject.IsEnvSite(s.id) {
-			// An env site's synthetic distance reaches every observable,
-			// so any priority bump dirties it.
+		if inject.IsEnvSite(s.id) || inject.IsPartialSite(s.id) {
+			// An env or partial site's synthetic distance reaches every
+			// observable, so any priority bump dirties it.
 			for k := range e.obs {
 				r.obsSites[k] = append(r.obsSites[k], s)
 			}

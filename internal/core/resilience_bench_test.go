@@ -57,4 +57,17 @@ func BenchmarkReproduce(b *testing.B) {
 			}
 		})
 	})
+	b.Run("partial", func(b *testing.B) {
+		// Same search with the partial class enabled: prices the partial
+		// sweep (per-operation pseudo-site reaches, ID caching, amplitude
+		// recording) on a search that still concludes in the site class.
+		// Recorded in BENCH_core_partial.json; the baseline variant above
+		// is the proof that none of it is paid in the default mode.
+		benchReproduce(b, func(int) core.Options {
+			return core.Options{
+				Strategy: core.FullFeedback, Seed: 1, MaxRounds: 60,
+				FaultClasses: []string{core.ClassSite, core.ClassPartial},
+			}
+		})
+	})
 }

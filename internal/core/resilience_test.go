@@ -360,20 +360,32 @@ func TestResumeRejectsMismatchedCheckpoint(t *testing.T) {
 	})
 }
 
-// TestResumeRejectsLegacyCheckpointVersion: a version-1 envelope — written
-// before path-sensitive addressing and the pair fault class existed — must
-// be rejected loudly by the envelope layer, never resumed into a search
-// whose instance identities it cannot describe. The fixture is a faithful
-// copy of what a v1 release wrote.
+// TestResumeRejectsLegacyCheckpointVersion: legacy envelopes — version 1
+// predates path-sensitive addressing and the pair fault class, version 2
+// predates the partial fault class — must be rejected loudly by the
+// envelope layer, never resumed into a search whose instance identities
+// or occurrence counters they cannot describe. The fixtures are faithful
+// copies of what those releases wrote.
 func TestResumeRejectsLegacyCheckpointVersion(t *testing.T) {
 	tgt := target(t, "f1")
-	_, err := core.Resume(tgt, core.Options{Strategy: core.FullFeedback, Seed: 1, Window: 1},
-		filepath.Join("testdata", "legacy_v1_checkpoint.json"))
-	if err == nil {
-		t.Fatal("resume accepted a version-1 checkpoint")
+	cases := []struct {
+		fixture string
+		want    string
+	}{
+		{"legacy_v1_checkpoint.json", "version 1, want 3"},
+		{"legacy_v2_checkpoint.json", "version 2, want 3"},
 	}
-	if !strings.Contains(err.Error(), "version 1, want 2") {
-		t.Fatalf("err = %v, want a version-skew message naming both versions", err)
+	for _, c := range cases {
+		t.Run(c.fixture, func(t *testing.T) {
+			_, err := core.Resume(tgt, core.Options{Strategy: core.FullFeedback, Seed: 1, Window: 1},
+				filepath.Join("testdata", c.fixture))
+			if err == nil {
+				t.Fatalf("resume accepted the legacy checkpoint %s", c.fixture)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v, want a version-skew message naming both versions", err)
+			}
+		})
 	}
 }
 

@@ -95,21 +95,22 @@ func candidateFor(s *siteState, inst instance) inject.Instance {
 // fillWindow selects the round's candidate window from the ranked
 // sites: the best untried instance of each site, in ranking order,
 // until the window is full. Selection is multi-pass across fault
-// classes — error-return sites first, environment pseudo-sites only
-// when no untried site-class instance can be selected at all, and pair
-// pseudo-sites only when both single-fault spaces are spent — so
-// enabling a wider class never changes which instances the narrower
-// search injects: each class runs to exhaustion in its exact original
-// order before the next space opens. A window is therefore homogeneous
-// in the pair/non-pair sense, which is what lets the round build one
-// PairPlan for pair windows and one ordinary window plan otherwise.
+// classes — error-return sites first, then environment pseudo-sites
+// only when no untried site-class instance can be selected at all,
+// then partial pseudo-sites, and pair pseudo-sites last, when every
+// single-fault space is spent — so enabling a wider class never
+// changes which instances the narrower search injects: each class runs
+// to exhaustion in its exact original order before the next space
+// opens. A window is therefore homogeneous in the pair/non-pair sense,
+// which is what lets the round build one PairPlan for pair windows and
+// one ordinary window plan otherwise.
 func (e *engine) fillWindow(ranked []*siteState, window int, useTemporal bool, limit int) []inject.Instance {
 	candidates := e.candBuf[:0]
 	for _, s := range ranked {
 		if len(candidates) >= window {
 			break
 		}
-		if s.isPair || inject.IsEnvSite(s.id) {
+		if s.isPair || inject.IsEnvSite(s.id) || inject.IsPartialSite(s.id) {
 			continue
 		}
 		if inst, ok := e.bestUntried(s, useTemporal, limit); ok {
@@ -122,6 +123,19 @@ func (e *engine) fillWindow(ranked []*siteState, window int, useTemporal bool, l
 				break
 			}
 			if !inject.IsEnvSite(s.id) {
+				continue
+			}
+			if inst, ok := e.bestUntried(s, useTemporal, limit); ok {
+				candidates = append(candidates, candidateFor(s, inst))
+			}
+		}
+	}
+	if len(candidates) == 0 && e.partialClass {
+		for _, s := range ranked {
+			if len(candidates) >= window {
+				break
+			}
+			if !inject.IsPartialSite(s.id) {
 				continue
 			}
 			if inst, ok := e.bestUntried(s, useTemporal, limit); ok {

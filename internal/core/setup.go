@@ -134,6 +134,7 @@ func (e *engine) setup(free *cluster.Result) {
 			logPos:     ev.LogPos,
 			alignedPos: e.align.Map(ev.LogPos),
 			path:       ev.Path,
+			amp:        ev.Amp,
 		})
 	}
 	// donors is the pair-member universe: the graph-pruned error-return
@@ -190,6 +191,44 @@ func (e *engine) setup(free *cluster.Result) {
 			if e.pairClass {
 				donors = append(donors, st)
 			}
+			total += len(insts)
+		}
+	}
+
+	// Partial-failure pseudo-sites likewise come from the free-run trace
+	// alone: the partial-enabled disk and network reach them once per
+	// perturbable operation, so only sites and channels the scenario
+	// actually exercises are enumerated. Candidate amplitude is
+	// calibrated from the free run — the Zhang et al. realism idea — per
+	// class: a short-write or enospc-after instance enters only where the
+	// observed payload was at least two bytes, so the persisted prefix is
+	// a nonempty strict prefix of the data (smaller payloads degrade to
+	// the clean all-or-nothing failure the site class already covers).
+	// Partial sites are not pair donors: a pair member must be a fault
+	// the member classes already search.
+	if e.partialClass {
+		for siteID, insts := range bySite {
+			if !inject.IsPartialSite(siteID) {
+				continue
+			}
+			switch inject.PartialClassOf(siteID) {
+			case inject.PartialShortWrite, inject.PartialENOSPC:
+				kept := make([]instance, 0, len(insts))
+				for _, inst := range insts {
+					if inst.amp >= 2 {
+						kept = append(kept, inst)
+					}
+				}
+				insts = kept
+			}
+			if len(insts) == 0 {
+				continue
+			}
+			st := &siteState{id: siteID, instances: insts}
+			if m, ok := inject.PartialMarker(siteID); ok {
+				st.marker = logdiff.Sanitize(m)
+			}
+			e.sites = append(e.sites, st)
 			total += len(insts)
 		}
 	}

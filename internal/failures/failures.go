@@ -1,7 +1,8 @@
 // Package failures holds the failure dataset: the 22 site-rooted
 // scenarios mirroring the real-world issues of Table 5 (f1–f22), the
 // environment-rooted scenarios (f23–f25, f29), the anti-entropy
-// scenarios (f26–f28), and the combined-fault scenarios (f30–f31). Each
+// scenarios (f26–f28), the combined-fault scenarios (f30–f31), and the
+// partial-failure scenarios (f32–f34). Each
 // scenario packages the paper's four inputs for one failure: the target
 // system (its code is what the analyzer instruments), a driving
 // workload, a failure oracle, and a production failure log.
@@ -40,10 +41,12 @@ type Scenario struct {
 	SrcDirs  []string // source directories the Instrumenter analyzes
 
 	// FaultClasses names the fault classes the explorer searches for this
-	// scenario (core.ClassSite / core.ClassEnv / core.ClassPair). Nil
-	// keeps the paper's site-only space — the f1–f22 dataset — while the
-	// env-rooted scenarios (f23+) opt into environment enumeration and
-	// the combined-fault scenarios (f30–f31) into pair enumeration.
+	// scenario (core.ClassSite / core.ClassEnv / core.ClassPair /
+	// core.ClassPartial). Nil keeps the paper's site-only space — the
+	// f1–f22 dataset — while the env-rooted scenarios (f23+) opt into
+	// environment enumeration, the combined-fault scenarios (f30–f31)
+	// into pair enumeration, and the partial-failure scenarios (f32–f34)
+	// into partial enumeration.
 	FaultClasses []string
 
 	// RootSite is the ground-truth root-cause fault site.
@@ -116,14 +119,29 @@ func (s *Scenario) SearchesPair() bool {
 	return false
 }
 
-// execOpts returns the cluster options the scenario's own runs need:
-// env enumeration is switched on for env-class scenarios so free runs
-// count environment pseudo-sites (FindRoot needs the counts).
-func (s *Scenario) execOpts() []cluster.ExecOption {
-	if s.SearchesEnv() {
-		return []cluster.ExecOption{cluster.WithEnvFaults()}
+// SearchesPartial reports whether the scenario's fault classes include
+// partial failures.
+func (s *Scenario) SearchesPartial() bool {
+	for _, c := range s.FaultClasses {
+		if c == core.ClassPartial {
+			return true
+		}
 	}
-	return nil
+	return false
+}
+
+// execOpts returns the cluster options the scenario's own runs need: env
+// and partial enumeration are switched on for scenarios of those classes
+// so free runs count the pseudo-sites (FindRoot needs the counts).
+func (s *Scenario) execOpts() []cluster.ExecOption {
+	var opts []cluster.ExecOption
+	if s.SearchesEnv() {
+		opts = append(opts, cluster.WithEnvFaults())
+	}
+	if s.SearchesPartial() {
+		opts = append(opts, cluster.WithPartialFaults())
+	}
+	return opts
 }
 
 // GroundTruth finds the root-cause instance under the given seed.

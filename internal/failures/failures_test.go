@@ -70,25 +70,28 @@ func TestGroundTruthStableAcrossSeeds(t *testing.T) {
 }
 
 func TestRegistryLookups(t *testing.T) {
-	if len(All()) != 31 {
+	if len(All()) != 34 {
 		t.Fatalf("only %d scenarios registered", len(All()))
 	}
 	// The paper's evaluation dataset is exactly the 22 site-only
-	// scenarios; the env-searching and pair-searching ones are marked by
+	// scenarios; the env-, pair- and partial-searching ones are marked by
 	// their FaultClasses.
-	siteOnly, env, pair := 0, 0, 0
+	siteOnly, env, pair, partial := 0, 0, 0, 0
 	for _, s := range All() {
 		switch {
 		case s.SearchesEnv():
 			env++
 		case s.SearchesPair():
 			pair++
+		case s.SearchesPartial():
+			partial++
 		default:
 			siteOnly++
 		}
 	}
-	if siteOnly != 22 || env != 7 || pair != 2 {
-		t.Fatalf("dataset split: %d site-only, %d env-searching, %d pair-searching", siteOnly, env, pair)
+	if siteOnly != 22 || env != 7 || pair != 2 || partial != 3 {
+		t.Fatalf("dataset split: %d site-only, %d env-searching, %d pair-searching, %d partial-searching",
+			siteOnly, env, pair, partial)
 	}
 	if len(SiteDataset()) != 22 {
 		t.Fatalf("SiteDataset: %d scenarios", len(SiteDataset()))
@@ -102,10 +105,10 @@ func TestRegistryLookups(t *testing.T) {
 	if _, ok := ByID("nope"); ok {
 		t.Fatal("bogus lookup succeeded")
 	}
-	if len(BySystem("zk")) != 5 {
+	if len(BySystem("zk")) != 6 {
 		t.Fatalf("zk scenarios: %d", len(BySystem("zk")))
 	}
-	if len(BySystem("dfs")) != 9 {
+	if len(BySystem("dfs")) != 10 {
 		t.Fatalf("dfs scenarios: %d", len(BySystem("dfs")))
 	}
 	if len(BySystem("dyn")) != 5 {

@@ -99,6 +99,7 @@ type TraceEvent struct {
 	LogPos     int      // logical time: log records emitted before the reach
 	Time       des.Time // virtual time of the reach
 	Injected   bool     // whether this reach produced a fault
+	Amp        int      // observed amplitude (partial pseudo-sites only)
 }
 
 // Instance names a dynamic fault candidate f_{i,j}: site i, occurrence j.
@@ -332,6 +333,17 @@ type Runtime struct {
 	// instances, so replaying an env reproduction script needs no flag.
 	envAuto bool
 
+	// PartialEnabled opts the run into partial-failure pseudo-sites (see
+	// partial.go): when false — the default — ReachPartial neither counts
+	// nor traces, so runs without the partial class keep byte-identical
+	// traces and occurrence counts.
+	PartialEnabled bool
+
+	// partialAuto force-activates partial sites when the plan itself
+	// carries partial instances, so replaying a partial reproduction
+	// script needs no flag.
+	partialAuto bool
+
 	// PathEnabled opts the run into path-sensitive addressing: every
 	// reach is assigned a canonical PathAddr string built from the PathID/
 	// PathPrefix hooks, and plans implementing PathDecider are dispatched
@@ -366,9 +378,10 @@ func NewRuntime(plan Plan) *Runtime {
 		pathPlan:  pd,
 		budget:    budget,
 		sites:     make(map[string]*siteRec),
-		KeepTrace: true,
-		envAuto:   PlanCarriesEnv(plan),
-		pathAuto:  PlanCarriesPath(plan),
+		KeepTrace:   true,
+		envAuto:     PlanCarriesEnv(plan),
+		partialAuto: PlanCarriesPartial(plan),
+		pathAuto:    PlanCarriesPath(plan),
 	}
 }
 
@@ -443,7 +456,15 @@ func (r *Runtime) decide(site string, occ int, path string) bool {
 
 // record stamps and stores the trace event for one reach.
 func (r *Runtime) record(site string, occ int, path string, inject bool) {
-	ev := TraceEvent{Site: site, Occurrence: occ, Path: path, Injected: inject}
+	r.recordAmp(site, occ, path, inject, 0)
+}
+
+// recordAmp is record with an observed amplitude, used by the partial
+// pseudo-sites to carry the payload length of the perturbed call into
+// the free-run trace (the explorer calibrates candidate enumeration
+// from it).
+func (r *Runtime) recordAmp(site string, occ int, path string, inject bool, amp int) {
+	ev := TraceEvent{Site: site, Occurrence: occ, Path: path, Injected: inject, Amp: amp}
 	if r.LogPos != nil {
 		ev.LogPos = r.LogPos()
 	}

@@ -188,6 +188,17 @@ func (p *PairPlan) carriesEnv() bool {
 	return false
 }
 
+func (p *PairPlan) carriesPartial() bool {
+	for i := range p.pairs {
+		for j := 0; j < 2; j++ {
+			if IsPartialSite(p.pairs[i][j].Site) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 func (p *PairPlan) carriesPath() bool {
 	for i := range p.pairs {
 		for j := 0; j < 2; j++ {

@@ -1,0 +1,294 @@
+// Partial faults extend the fault space a third time, past clean typed
+// exceptions (site faults) and environment events (env faults), to the
+// messy errno-level partial failures real incidents are rooted in: a
+// write that persists only a prefix before erroring, ENOSPC striking
+// midway through an append, a rename torn between source and
+// destination, a send interrupted after the bytes left, a message
+// delivered twice. Like env faults, each partial-failure mode is
+// addressed through a *pseudo-site*, so the explorer's universal
+// currency — the (site, occurrence) Instance — covers the space with no
+// new plan, window, tried-set or checkpoint machinery:
+//
+//	partial/disk/short-write/<site>   persist a prefix of the data, then fail
+//	partial/disk/enospc-after/<site>  append a prefix, then report no space
+//	partial/disk/torn-rename/<site>   copy to destination but keep the source
+//	partial/net/eintr/<site>          deliver the message but fail the sender
+//	partial/net/dup-deliver/<from>><to>  deliver the same message twice
+//
+// The occurrence of a partial pseudo-site counts the reaches of the
+// underlying operation: occurrence j of partial/disk/short-write/S is
+// the j-th write executed at disk site S, and occurrence j of
+// partial/net/dup-deliver/a>b is the j-th message on the a>b channel.
+// Semantics are deterministic functions of the operation's own payload
+// (the short-write prefix is half the data; the duplicate arrives a
+// fixed virtual-time offset later), so an Instance alone reconstructs
+// the fault — the Zhang et al. realism idea of calibrating amplitude
+// from observed fault-free executions, with the observation made
+// exactly at the perturbed call.
+//
+// Partial sites use '/' separators, like env and pair pseudo-sites, so
+// they can never collide with dotted error-return site IDs.
+package inject
+
+import (
+	"strconv"
+	"strings"
+
+	"anduril/internal/des"
+)
+
+// PartialClass names a partial-failure fault class.
+type PartialClass string
+
+// The partial-failure classes. The disk classes perturb simdisk
+// operations; the net classes perturb simnet sends.
+const (
+	PartialShortWrite PartialClass = "short-write"  // disk: prefix persisted, then error
+	PartialENOSPC     PartialClass = "enospc-after" // disk: prefix appended, then no space
+	PartialTornRename PartialClass = "torn-rename"  // disk: destination written, source kept
+	PartialEINTR      PartialClass = "eintr"        // net: delivered, but sender sees EINTR
+	PartialDupDeliver PartialClass = "dup-deliver"  // net: same message delivered twice
+)
+
+// Fault kinds produced by partial faults. Duplicated delivery surfaces
+// no error to the sender (the kind only labels the injection record);
+// eintr reuses the existing Interrupted kind, matching the errno.
+const (
+	ShortWrite Kind = "ShortWriteError"
+	NoSpace    Kind = "NoSpaceError"
+	TornRename Kind = "TornRenameError"
+	DupDeliver Kind = "DupDeliverFault"
+)
+
+// partialSitePrefix marks partial pseudo-sites; ordinary dotted site IDs
+// can never start with it.
+const partialSitePrefix = "partial/"
+
+// PartialDupOffset is the fixed virtual-time offset at which the second
+// copy of a duplicated message is delivered. Like the env durations it
+// is an exported constant, not a plan parameter, so a reproduction
+// script (an Instance) fully determines the execution.
+const PartialDupOffset = 250 * des.Millisecond
+
+// partialMedium returns the medium segment of a class's site ID.
+func partialMedium(class PartialClass) string {
+	switch class {
+	case PartialShortWrite, PartialENOSPC, PartialTornRename:
+		return "disk"
+	case PartialEINTR, PartialDupDeliver:
+		return "net"
+	default:
+		return ""
+	}
+}
+
+// PartialKind returns the fault Kind recorded for a class.
+func PartialKind(class PartialClass) Kind {
+	switch class {
+	case PartialShortWrite:
+		return ShortWrite
+	case PartialENOSPC:
+		return NoSpace
+	case PartialTornRename:
+		return TornRename
+	case PartialEINTR:
+		return Interrupted
+	case PartialDupDeliver:
+		return DupDeliver
+	default:
+		return Kind("PartialFault")
+	}
+}
+
+// PartialFault describes one partial failure to execute: the class, the
+// perturbed subject (a disk or net site ID, or the sender of a
+// duplicated channel), the peer (receiver of a duplicated channel; empty
+// otherwise), the dynamic occurrence that triggered it, and the
+// amplitude observed at the perturbed call (payload length in bytes for
+// the disk classes; zero for the net classes, whose semantics need no
+// amplitude).
+type PartialFault struct {
+	Class      PartialClass
+	Subject    string // underlying site ID, or sender of the channel
+	Peer       string // receiver of the channel; empty for non-channel classes
+	Occurrence int    // 1-based occurrence of the pseudo-site this run
+	Amp        int    // observed payload length at the perturbed call
+}
+
+// Site returns the pseudo-site ID addressing this fault.
+func (f PartialFault) Site() string { return PartialSiteID(f.Class, f.Subject, f.Peer) }
+
+// PartialSiteID builds the pseudo-site ID for a class and its subject.
+// Channel classes (dup-deliver) take a directed from>to pair; the other
+// classes wrap the underlying operation's own site ID.
+func PartialSiteID(class PartialClass, subject, peer string) string {
+	if class == PartialDupDeliver {
+		return partialSitePrefix + partialMedium(class) + "/" + string(class) + "/" + subject + ">" + peer
+	}
+	return partialSitePrefix + partialMedium(class) + "/" + string(class) + "/" + subject
+}
+
+// PartialMarker returns the log line the executing layer emits at the
+// moment the partial fault at this site fires ("", false for
+// non-partial sites). As with env markers, the text lives next to the
+// site grammar because two layers depend on it staying identical: the
+// disk/network log it on injection, and the explorer treats a
+// failure-log observable equal to a site's sanitized marker as direct
+// evidence for that site.
+func PartialMarker(site string) (string, bool) {
+	f, ok := ParsePartialSite(site)
+	if !ok {
+		return "", false
+	}
+	switch f.Class {
+	case PartialShortWrite:
+		return "partial: short write at " + f.Subject, true
+	case PartialENOSPC:
+		return "partial: no space after partial append at " + f.Subject, true
+	case PartialTornRename:
+		return "partial: torn rename at " + f.Subject, true
+	case PartialEINTR:
+		return "partial: send at " + f.Subject + " interrupted", true
+	case PartialDupDeliver:
+		return "partial: message " + f.Subject + ">" + f.Peer + " duplicated", true
+	}
+	return "", false
+}
+
+// IsPartialSite reports whether a site ID addresses a partial fault.
+func IsPartialSite(site string) bool { return strings.HasPrefix(site, partialSitePrefix) }
+
+// PartialClassOf extracts the class from a partial pseudo-site ID (""
+// if the site is not a partial site or malformed).
+func PartialClassOf(site string) PartialClass {
+	f, ok := ParsePartialSite(site)
+	if !ok {
+		return ""
+	}
+	return f.Class
+}
+
+// ParsePartialSite decodes a partial pseudo-site ID into a PartialFault
+// template (Occurrence and Amp zero). It is the inverse of
+// PartialSiteID.
+func ParsePartialSite(site string) (PartialFault, bool) {
+	rest, ok := strings.CutPrefix(site, partialSitePrefix)
+	if !ok {
+		return PartialFault{}, false
+	}
+	medium, rest, ok := strings.Cut(rest, "/")
+	if !ok {
+		return PartialFault{}, false
+	}
+	class, subject, ok := strings.Cut(rest, "/")
+	if !ok || subject == "" {
+		return PartialFault{}, false
+	}
+	f := PartialFault{Class: PartialClass(class)}
+	if partialMedium(f.Class) != medium || medium == "" {
+		return PartialFault{}, false
+	}
+	if f.Class == PartialDupDeliver {
+		from, to, ok := strings.Cut(subject, ">")
+		if !ok || from == "" || to == "" {
+			return PartialFault{}, false
+		}
+		f.Subject, f.Peer = from, to
+		return f, true
+	}
+	f.Subject = subject
+	return f, true
+}
+
+// partialCarrier is implemented by plans that can report whether any of
+// their candidate instances address partial pseudo-sites.
+type partialCarrier interface{ carriesPartial() bool }
+
+func (p exactPlan) carriesPartial() bool { return IsPartialSite(p.inst.Site) }
+
+func (p windowPlan) carriesPartial() bool {
+	for c := range p.candidates {
+		if IsPartialSite(c.Site) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *multiPlan) carriesPartial() bool {
+	for _, sub := range p.plans {
+		if PlanCarriesPartial(sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// PlanCarriesPartial reports whether a plan's candidates include any
+// partial pseudo-site instance. Plans that do not implement the check
+// are conservatively assumed to carry partial instances, so custom
+// plans work under replay without extra wiring.
+func PlanCarriesPartial(p Plan) bool {
+	if p == nil {
+		return false
+	}
+	if c, ok := p.(partialCarrier); ok {
+		return c.carriesPartial()
+	}
+	return true
+}
+
+// partialActive reports whether partial pseudo-sites are reached
+// (counted, traced, injectable) this run. Counting is gated exactly
+// like env counting: runs without partial faults keep byte-identical
+// traces and occurrence counts with pre-partial builds, and a plan that
+// carries partial instances force-enables counting so deterministic
+// replay of a partial script needs no flag.
+func (r *Runtime) partialActive() bool { return r.PartialEnabled || r.partialAuto }
+
+// PartialActive exposes partialActive to the disk and network layers,
+// which short-circuit their per-operation partial-site sweeps —
+// including building the pseudo-site ID strings — when the run reaches
+// no partial sites anyway. Site-only runs pay nothing per operation.
+func (r *Runtime) PartialActive() bool { return r.partialActive() }
+
+// ReachPartial is the partial-failure analog of Reach, called by the
+// disk once per perturbable operation and by the network once per
+// (message, partial site) pair. amp is the observed amplitude of the
+// operation (payload length for disk writes; zero where amplitude is
+// meaningless). It records the dynamic occurrence and returns the
+// PartialFault to execute if the plan injects here. When partial faults
+// are not enabled for the run it is a no-op returning false.
+func (r *Runtime) ReachPartial(site string, amp int) (PartialFault, bool) {
+	if !r.partialActive() {
+		return PartialFault{}, false
+	}
+	f, ok := ParsePartialSite(site)
+	if !ok {
+		return PartialFault{}, false
+	}
+	rec := r.site(site)
+	rec.count++
+	rec.kind = PartialKind(f.Class)
+	occ := rec.count
+
+	// Partial pseudo-sites are root-addressed like env sites: their
+	// occurrence is already a deterministic per-run operation index, so
+	// the path form is simply "site#occ" with no context edges.
+	path := ""
+	if r.pathActive() {
+		path = site + "#" + strconv.Itoa(occ)
+	}
+	inject := r.decide(site, occ, path)
+
+	if r.KeepTrace || inject {
+		r.recordAmp(site, occ, path, inject, amp)
+	}
+
+	if !inject {
+		return PartialFault{}, false
+	}
+	f.Occurrence = occ
+	f.Amp = amp
+	return f, true
+}

@@ -10,7 +10,7 @@ import (
 )
 
 func TestCreateAppendRead(t *testing.T) {
-	d := New(inject.NewRuntime(nil))
+	d := New(inject.NewRuntime(nil), nil)
 	if err := d.Create("s.create", "n1/wal/1.log"); err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +33,7 @@ func TestCreateAppendRead(t *testing.T) {
 }
 
 func TestReadMissingIsFileNotFound(t *testing.T) {
-	d := New(inject.NewRuntime(nil))
+	d := New(inject.NewRuntime(nil), nil)
 	_, err := d.Read("s.read", "nope")
 	if !errors.Is(err, inject.KindErr(inject.FileNotFound)) {
 		t.Fatalf("err=%v", err)
@@ -41,7 +41,7 @@ func TestReadMissingIsFileNotFound(t *testing.T) {
 }
 
 func TestWriteTruncates(t *testing.T) {
-	d := New(inject.NewRuntime(nil))
+	d := New(inject.NewRuntime(nil), nil)
 	d.Append("s", "f", []byte("long content"))
 	d.Write("s", "f", []byte("x"))
 	got, _ := d.Read("s", "f")
@@ -51,7 +51,7 @@ func TestWriteTruncates(t *testing.T) {
 }
 
 func TestRename(t *testing.T) {
-	d := New(inject.NewRuntime(nil))
+	d := New(inject.NewRuntime(nil), nil)
 	d.Write("s", "tmp/ckpt", []byte("img"))
 	if err := d.Rename("s.rename", "tmp/ckpt", "current/ckpt"); err != nil {
 		t.Fatal(err)
@@ -65,7 +65,7 @@ func TestRename(t *testing.T) {
 }
 
 func TestDeleteAndList(t *testing.T) {
-	d := New(inject.NewRuntime(nil))
+	d := New(inject.NewRuntime(nil), nil)
 	d.Write("s", "n1/a", nil)
 	d.Write("s", "n1/b", nil)
 	d.Write("s", "n2/c", nil)
@@ -80,7 +80,7 @@ func TestDeleteAndList(t *testing.T) {
 
 func TestInjectedFaultAborts(t *testing.T) {
 	fi := inject.NewRuntime(inject.Exact(inject.Instance{Site: "wal.append", Occurrence: 2}))
-	d := New(fi)
+	d := New(fi, nil)
 	if err := d.Append("wal.append", "f", []byte("a")); err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestInjectedFaultAborts(t *testing.T) {
 
 func TestSyncIsFaultSiteOnly(t *testing.T) {
 	fi := inject.NewRuntime(inject.Exact(inject.Instance{Site: "wal.sync", Occurrence: 1}))
-	d := New(fi)
+	d := New(fi, nil)
 	if err := d.Sync("wal.sync", "f"); !errors.Is(err, inject.KindErr(inject.IO)) {
 		t.Fatalf("sync err=%v", err)
 	}
@@ -106,11 +106,95 @@ func TestSyncIsFaultSiteOnly(t *testing.T) {
 	}
 }
 
+func TestDeleteMissingIsFileNotFound(t *testing.T) {
+	d := New(inject.NewRuntime(nil), nil)
+	if err := d.Delete("s.delete", "nope"); !errors.Is(err, inject.KindErr(inject.FileNotFound)) {
+		t.Fatalf("delete missing: %v", err)
+	}
+}
+
+func TestShortWritePersistsPrefix(t *testing.T) {
+	site := inject.PartialSiteID(inject.PartialShortWrite, "wal.append", "")
+	fi := inject.NewRuntime(inject.Exact(inject.Instance{Site: site, Occurrence: 2}))
+	d := New(fi, nil)
+	if err := d.Append("wal.append", "f", []byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	err := d.Append("wal.append", "f", []byte("wxyz"))
+	if !errors.Is(err, inject.KindErr(inject.ShortWrite)) {
+		t.Fatalf("err=%v", err)
+	}
+	got, _ := d.Read("r", "f")
+	if string(got) != "abcdwx" {
+		t.Fatalf("content after short write: %q", got)
+	}
+}
+
+func TestShortWriteOnWriteTruncatesToPrefix(t *testing.T) {
+	site := inject.PartialSiteID(inject.PartialShortWrite, "img.write", "")
+	fi := inject.NewRuntime(inject.Exact(inject.Instance{Site: site, Occurrence: 1}))
+	d := New(fi, nil)
+	err := d.Write("img.write", "f", []byte("123456"))
+	if !errors.Is(err, inject.KindErr(inject.ShortWrite)) {
+		t.Fatalf("err=%v", err)
+	}
+	got, _ := d.Read("r", "f")
+	if string(got) != "123" {
+		t.Fatalf("content after short write: %q", got)
+	}
+}
+
+func TestENOSPCAfterPartialAppend(t *testing.T) {
+	site := inject.PartialSiteID(inject.PartialENOSPC, "wal.append", "")
+	fi := inject.NewRuntime(inject.Exact(inject.Instance{Site: site, Occurrence: 1}))
+	d := New(fi, nil)
+	err := d.Append("wal.append", "f", []byte("abcdef"))
+	if !errors.Is(err, inject.KindErr(inject.NoSpace)) {
+		t.Fatalf("err=%v", err)
+	}
+	got, _ := d.Read("r", "f")
+	if string(got) != "abc" {
+		t.Fatalf("content after enospc: %q", got)
+	}
+}
+
+func TestTornRenameKeepsBothPaths(t *testing.T) {
+	site := inject.PartialSiteID(inject.PartialTornRename, "ckpt.rename", "")
+	fi := inject.NewRuntime(inject.Exact(inject.Instance{Site: site, Occurrence: 1}))
+	d := New(fi, nil)
+	d.Write("s", "tmp/ckpt", []byte("img"))
+	err := d.Rename("ckpt.rename", "tmp/ckpt", "cur/ckpt")
+	if !errors.Is(err, inject.KindErr(inject.TornRename)) {
+		t.Fatalf("err=%v", err)
+	}
+	if !d.Exists("tmp/ckpt") || !d.Exists("cur/ckpt") {
+		t.Fatalf("torn rename state: src=%v dst=%v", d.Exists("tmp/ckpt"), d.Exists("cur/ckpt"))
+	}
+	got, _ := d.Read("r", "cur/ckpt")
+	if string(got) != "img" {
+		t.Fatalf("destination content: %q", got)
+	}
+}
+
+// Inactive partial sweep must not count pseudo-sites: byte-identity of
+// site-only runs depends on it.
+func TestPartialSitesNotCountedWhenInactive(t *testing.T) {
+	fi := inject.NewRuntime(nil)
+	d := New(fi, nil)
+	d.Append("wal.append", "f", []byte("abc"))
+	d.Rename("s.rename", "f", "g")
+	for site := range fi.Counts() {
+		if inject.IsPartialSite(site) {
+			t.Fatalf("partial site %s counted in inactive run", site)
+		}
+	}
+}
+
 // Property: append-then-read returns the concatenation, and reads never
 // alias internal state (mutating the returned slice is safe).
 func TestAppendReadProperty(t *testing.T) {
 	f := func(chunks [][]byte) bool {
-		d := New(inject.NewRuntime(nil))
+		d := New(inject.NewRuntime(nil), nil)
 		var want []byte
 		for _, c := range chunks {
 			if d.Append("s", "f", c) != nil {

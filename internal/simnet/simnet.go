@@ -51,6 +51,12 @@ type Net struct {
 	// instead of once per message.
 	envIDs map[[2]string]*envChannelIDs
 
+	// eintrIDs and dupIDs cache the partial pseudo-site ID strings —
+	// eintr per send site, dup-deliver per directed channel — so
+	// partial-enabled runs build them once instead of once per message.
+	eintrIDs map[string]string
+	dupIDs   map[[2]string]string
+
 	// sendPool and replyPool recycle the per-delivery state of one-way
 	// messages and RPC responses. Both object kinds are referenced only
 	// by the event that delivers them (fields are copied out before the
@@ -81,6 +87,8 @@ func New(sim *des.Sim, fi *inject.Runtime, log *logging.Log, minLat, maxLat des.
 		down:        make(map[string]bool),
 		partitioned: make(map[[2]string]bool),
 		envIDs:      make(map[[2]string]*envChannelIDs),
+		eintrIDs:    make(map[string]string),
+		dupIDs:      make(map[[2]string]string),
 	}
 }
 
@@ -206,6 +214,61 @@ func (n *Net) applyEnv(from, to string) (drop bool, extra des.Time) {
 	return false, 0
 }
 
+// eintrSiteID returns the cached eintr pseudo-site ID for a send site.
+func (n *Net) eintrSiteID(site string) string {
+	id, ok := n.eintrIDs[site]
+	if !ok {
+		id = inject.PartialSiteID(inject.PartialEINTR, site, "")
+		n.eintrIDs[site] = id
+	}
+	return id
+}
+
+// dupSiteID returns the cached dup-deliver pseudo-site ID for a channel.
+func (n *Net) dupSiteID(from, to string) string {
+	key := [2]string{from, to}
+	id, ok := n.dupIDs[key]
+	if !ok {
+		id = inject.PartialSiteID(inject.PartialDupDeliver, from, to)
+		n.dupIDs[key] = id
+	}
+	return id
+}
+
+// applyPartial reaches the partial pseudo-sites relevant to one
+// dispatched message, in a fixed order — eintr(site), then
+// dup-deliver(channel) — so partial occurrences are measured against a
+// deterministic per-run event counter, like the env sweep above. It
+// runs only for messages that actually dispatch (past the env drop,
+// reachability and handler checks), and reports the message-level
+// effect: a sender-side InterruptedError (the message is still
+// delivered — the bytes were already on the wire), or a duplicated
+// delivery. When partial faults are disabled for the run every
+// ReachPartial is a no-op and the sweep is skipped entirely.
+func (n *Net) applyPartial(site, from, to string) (err error, dup bool) {
+	if !n.fi.PartialActive() {
+		return nil, false
+	}
+	if f, ok := n.fi.ReachPartial(n.eintrSiteID(site), 0); ok {
+		n.logPartialMarker(f)
+		return &inject.Fault{Kind: inject.Interrupted, Site: f.Site(), Occurrence: f.Occurrence}, false
+	}
+	if f, ok := n.fi.ReachPartial(n.dupSiteID(from, to), 0); ok {
+		n.logPartialMarker(f)
+		return nil, true
+	}
+	return nil, false
+}
+
+// logPartialMarker emits the injection marker line for an executed
+// partial fault; like logMarker, the text comes from the inject package
+// so the explorer's marker-match ranking sees exactly what is logged.
+func (n *Net) logPartialMarker(f inject.PartialFault) {
+	if m, ok := inject.PartialMarker(f.Site()); ok {
+		n.log.Warnf("%s", m)
+	}
+}
+
 // logMarker emits the injection marker line for an executed env fault.
 // The text comes from inject.EnvMarker so the explorer's marker-match
 // ranking sees exactly what the network logs.
@@ -292,11 +355,19 @@ func (n *Net) Send(site string, msg Message) error {
 	if !ok {
 		return fmt.Errorf("simnet: %s has no handler for %s", msg.To, msg.Type)
 	}
+	perr, dup := n.applyPartial(site, msg.From, msg.To)
 	// The delivery runs under a child path node labelled with the send
 	// site — the call-tree edge of path addressing. PathExtend returns 0
 	// (the root, what PostArg would inherit) when tracking is off.
 	n.sim.PostArgPath(ep.actor, n.latency()+extra, runSend, n.getSend(msg, ep), n.sim.PathExtend(site))
-	return nil
+	if dup {
+		// Duplicated delivery: the same message arrives a second time at a
+		// fixed virtual-time offset after its first copy is dispatched.
+		n.sim.PostArgPath(ep.actor, n.latency()+extra+inject.PartialDupOffset, runSend, n.getSend(msg, ep), n.sim.PathExtend(site))
+	}
+	// An eintr fault surfaces to the sender even though the message was
+	// delivered: the bytes were already on the wire when the interrupt hit.
+	return perr
 }
 
 // call is the state of one in-flight RPC. It is allocated fresh per Call
@@ -426,8 +497,23 @@ func (n *Net) Call(site string, msg Message, timeout des.Time, cont func(payload
 	if drop {
 		return // request lost in the environment; caller times out
 	}
+	perr, dup := n.applyPartial(site, msg.From, msg.To)
+	if perr != nil {
+		// eintr: the request still reaches the handler, but the caller
+		// fails with InterruptedError now. Marking the call done drops the
+		// real response (and the timeout) on arrival, so cont still runs
+		// exactly once.
+		c.done = true
+		c.err = perr
+		n.sim.PostArg(caller, 0, runCallFinish, c)
+	}
 	c.respondFn = c.respond
 	// The request leg, like a one-way send, extends the call tree by one
 	// edge labelled with the RPC's fault site.
 	n.sim.PostArgPath(ep.actor, n.latency()+extra, runCallRequest, c, n.sim.PathExtend(site))
+	if dup {
+		// Duplicated delivery: the handler runs twice for one logical
+		// request; the second response is dropped by the done flag.
+		n.sim.PostArgPath(ep.actor, n.latency()+extra+inject.PartialDupOffset, runCallRequest, c, n.sim.PathExtend(site))
+	}
 }

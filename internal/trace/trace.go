@@ -47,6 +47,12 @@ const (
 	// same site/occ/satisfied fields plus the decoded class, subject
 	// node(s) and virtual-time duration of the fault's stateful phase.
 	EnvInjected EventType = "env_injected"
+	// PartialInjected records a partial-failure injection (short write,
+	// mid-append ENOSPC, torn rename, duplicated delivery, eintr) in
+	// place of Injected: the same site/occ/satisfied fields plus the
+	// decoded partial class, subject and — for duplicated deliveries —
+	// the peer node.
+	PartialInjected EventType = "partial_injected"
 	// PairInjected records a combined-fault injection in place of
 	// Injected: the pair pseudo-site and its occurrence, plus the two
 	// decoded member instances in Members.
@@ -200,12 +206,15 @@ type Event struct {
 	// Inconclusive: the failure class (cluster.Class*) and detail, plus
 	// the subject identifiers of the failed trial — the seed it ran
 	// under and, for panics, the actor (node thread) that was executing.
-	// Class is shared with EnvInjected, where it carries the env class.
+	// Class is shared with EnvInjected and PartialInjected, where it
+	// carries the env or partial class.
 	Class  string `json:"class,omitempty"`
 	Detail string `json:"detail,omitempty"`
 	Actor  string `json:"actor,omitempty"`
 
-	// EnvInjected: subject node(s) and virtual-time duration.
+	// EnvInjected: subject node(s) and virtual-time duration. Subject and
+	// Peer are shared with PartialInjected (subject site or channel
+	// endpoints; no duration — partial faults have no stateful phase).
 	Subject string `json:"subject,omitempty"`
 	Peer    string `json:"peer,omitempty"`
 	Dur     int64  `json:"dur,omitempty"`
@@ -305,7 +314,7 @@ func AggregateStats(events []Event) Stats {
 			s.WindowSizes[ev.Window]++
 		case Decision:
 			s.DecisionSz[ev.CandidateCount]++
-		case Injected, EnvInjected, PairInjected:
+		case Injected, EnvInjected, PartialInjected, PairInjected:
 			s.Injections++
 			s.SiteTrials[ev.Site]++
 		case WindowGrow:
