@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"anduril/internal/server"
+)
+
+// startDaemon runs an in-process daemon behind a test HTTP server, so
+// the ctl commands are exercised end to end without binding real ports.
+func startDaemon(t *testing.T) (base string) {
+	t.Helper()
+	s, err := server.Open(server.Config{DataDir: t.TempDir(), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Shutdown()
+	})
+	return ts.URL
+}
+
+func runCtl(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestCtlSubmitWaitStatusReportTrace(t *testing.T) {
+	base := startDaemon(t)
+	code, out, errb := runCtl(t, "submit", "-server", base, "-failure", "f4", "-wait")
+	if code != exitOK {
+		t.Fatalf("submit -wait = %d\nstdout: %s\nstderr: %s", code, out, errb)
+	}
+	if !strings.Contains(out, "accepted ") || !strings.Contains(out, "done") {
+		t.Fatalf("submit output: %s", out)
+	}
+	key := server.Spec{Failure: "f4"}.Key()
+
+	// A repeat submission dedupes.
+	code, out, _ = runCtl(t, "submit", "-server", base, "-failure", "f4")
+	if code != exitOK || !strings.Contains(out, "deduped "+key) {
+		t.Fatalf("repeat submit = %d: %s", code, out)
+	}
+
+	code, out, _ = runCtl(t, "status", "-server", base, key)
+	if code != exitOK || !strings.Contains(out, `"state": "done"`) {
+		t.Fatalf("status = %d: %s", code, out)
+	}
+	code, out, _ = runCtl(t, "list", "-server", base)
+	if code != exitOK || !strings.Contains(out, "done") || !strings.Contains(out, "f4") {
+		t.Fatalf("list = %d: %s", code, out)
+	}
+	code, out, _ = runCtl(t, "report", "-server", base, "-canonical", key)
+	if code != exitOK || !strings.Contains(out, `"Reproduced"`) {
+		t.Fatalf("report = %d: %s", code, out)
+	}
+	code, out, _ = runCtl(t, "trace", "-server", base, key)
+	if code != exitOK || !strings.Contains(out, `"event":"outcome"`) {
+		t.Fatalf("trace = %d: %s", code, out)
+	}
+	code, out, _ = runCtl(t, "wait", "-server", base, key)
+	if code != exitOK || !strings.Contains(out, "done") {
+		t.Fatalf("wait = %d: %s", code, out)
+	}
+	code, out, _ = runCtl(t, "health", "-server", base)
+	if code != exitOK || !strings.Contains(out, "ok") || !strings.Contains(out, "ready") {
+		t.Fatalf("health = %d: %s", code, out)
+	}
+}
+
+func TestCtlUsageErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"frobnicate"},
+		{"submit"},                               // missing -failure
+		{"status"},                               // missing key
+		{"report"},                               // missing key
+		{"wait"},                                 // missing keys
+		{"soak", "-jobs", "0"},                   // bad count
+		{"soak", "-submit-only", "-verify-only"}, // exclusive
+	}
+	for _, args := range cases {
+		if code, _, _ := runCtl(t, args...); code != exitUsage {
+			t.Fatalf("run(%v) = %d, want %d", args, code, exitUsage)
+		}
+	}
+}
+
+func TestCtlServerUnreachable(t *testing.T) {
+	code, _, errb := runCtl(t, "status", "-server", "http://127.0.0.1:1", "abc")
+	if code != exitRuntime || errb == "" {
+		t.Fatalf("unreachable server = %d (%s), want %d with message", code, errb, exitRuntime)
+	}
+}
+
+// The derived soak set is deterministic — phase-split crash harnesses
+// depend on re-deriving the identical set — and the submission counts
+// sum to -jobs.
+func TestSoakSetDeterministic(t *testing.T) {
+	a := soakSet(7, 500, 24)
+	b := soakSet(7, 500, 24)
+	if len(a) != len(b) {
+		t.Fatalf("set sizes differ: %d vs %d", len(a), len(b))
+	}
+	total := 0
+	for i := range a {
+		if a[i].key != b[i].key || a[i].submissions != b[i].submissions {
+			t.Fatalf("job %d differs across derivations", i)
+		}
+		total += a[i].submissions
+	}
+	if total != 500 {
+		t.Fatalf("submissions sum to %d, want 500", total)
+	}
+	if len(soakSet(8, 100, 24)) == 0 || soakSet(8, 100, 24)[0].key == a[0].key {
+		t.Fatal("different seeds derived the same first job")
+	}
+}
+
+// A small end-to-end soak: submissions overlap onto distinct jobs
+// (dedupe at scale), every result byte-matches a serial run.
+func TestCtlSoakSmall(t *testing.T) {
+	base := startDaemon(t)
+	code, out, errb := runCtl(t, "soak", "-server", base, "-jobs", "40", "-distinct", "5", "-seed", "3", "-timeout", "5m")
+	if code != exitOK {
+		t.Fatalf("soak = %d\nstdout: %s\nstderr: %s", code, out, errb)
+	}
+	if !strings.Contains(out, "soak: OK") {
+		t.Fatalf("soak output: %s", out)
+	}
+}
+
+// Phase-split soak: submit-only, then verify-only against a daemon that
+// restarted in between — the crash harness's exact shape.
+func TestCtlSoakPhaseSplitAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := server.Open(server.Config{DataDir: dir, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	code, out, errb := runCtl(t, "soak", "-server", ts1.URL, "-jobs", "20", "-distinct", "4", "-seed", "5", "-submit-only")
+	if code != exitOK {
+		t.Fatalf("submit-only = %d\nstdout: %s\nstderr: %s", code, out, errb)
+	}
+	// Drain mid-work and restart on the same journal.
+	s1.Shutdown()
+	ts1.Close()
+	s2, err := server.Open(server.Config{DataDir: dir, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer func() {
+		ts2.Close()
+		s2.Shutdown()
+	}()
+	code, out, errb = runCtl(t, "soak", "-server", ts2.URL, "-jobs", "20", "-distinct", "4", "-seed", "5", "-verify-only", "-timeout", "5m")
+	if code != exitOK {
+		t.Fatalf("verify-only after restart = %d\nstdout: %s\nstderr: %s", code, out, errb)
+	}
+	if !strings.Contains(out, "soak: OK") {
+		t.Fatalf("verify output: %s", out)
+	}
+}

@@ -18,9 +18,11 @@ package checkpoint
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"syscall"
 )
 
 // Envelope is the on-disk frame around a checkpoint payload.
@@ -30,10 +32,13 @@ type Envelope struct {
 	Data    json.RawMessage `json:"data"`
 }
 
-// Save atomically writes data as a checkpoint of the given kind and
-// version. The write is crash-safe: a temporary file next to path receives
-// the full encoding first and is renamed over path only once synced, so a
-// kill at any instant leaves the previous checkpoint readable.
+// Save atomically and durably writes data as a checkpoint of the given
+// kind and version. The write is crash-safe: a temporary file next to path
+// receives the full encoding first and is renamed over path only once
+// synced, so a kill at any instant leaves the previous checkpoint
+// readable. It is also power-loss-safe: the parent directory is fsynced
+// after the rename, so once Save returns the new checkpoint — not merely
+// one of the two — is what a post-crash mount sees.
 func Save(path, kind string, version int, data any) error {
 	raw, err := json.Marshal(data)
 	if err != nil {
@@ -64,6 +69,32 @@ func Save(path, kind string, version int, data any) error {
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("checkpoint: %w", err)
+	}
+	// The rename is atomic but not yet durable: the directory entry for
+	// path lives in the parent directory's data, and a power loss before
+	// that data reaches disk can roll the directory back to the pre-rename
+	// state even though the file contents were synced. Fsyncing the parent
+	// completes the guarantee the package documents: once Save returns,
+	// the new checkpoint survives both a process kill AND a power loss —
+	// which is what lets the server treat these envelopes as a write-ahead
+	// journal, not just a crash-safe cache.
+	return SyncDir(dir)
+}
+
+// SyncDir fsyncs a directory so a just-renamed or just-created entry in it
+// is durable. Save calls it on the checkpoint's parent; callers that
+// create the directories themselves (the server's per-job journal dirs)
+// call it on THEIR parent for the same reason. Platforms whose directory
+// handles reject Sync (it is optional in POSIX) report a benign error;
+// those are ignored, matching what journaling databases do.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("checkpoint: sync dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return fmt.Errorf("checkpoint: sync dir %s: %w", dir, err)
 	}
 	return nil
 }

@@ -84,6 +84,52 @@ func TestKillMidWriteLeavesPreviousReadable(t *testing.T) {
 	}
 }
 
+// The server journals jobs as one envelope file per job directory
+// (jobs/<key>/job.json). A daemon SIGKILLed mid-write dies with temp files
+// strewn across several job directories at once; every directory must
+// independently keep its previous record readable, and fresh Saves (the
+// restarted daemon re-journaling state transitions) must succeed with the
+// stale temp files still present.
+func TestKillMidWriteJournalDirectory(t *testing.T) {
+	root := t.TempDir()
+	keys := []string{"job-a1", "job-b2", "job-c3"}
+	for _, key := range keys {
+		dir := filepath.Join(root, "jobs", key)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, "job.json")
+		if err := Save(path, "server-job", 1, payload{Round: 1, Note: key}); err != nil {
+			t.Fatal(err)
+		}
+		// The dying daemon left partial temp files in every job directory.
+		for i, junk := range []string{`{"kind":"server-jo`, "", `garbage bytes`} {
+			partial := filepath.Join(dir, "job.json.tmp-"+strings.Repeat("9", i+3))
+			if err := os.WriteFile(partial, []byte(junk), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, key := range keys {
+		path := filepath.Join(root, "jobs", key, "job.json")
+		raw, err := Load(path, "server-job", 1)
+		if err != nil {
+			t.Fatalf("job %s unreadable after simulated mid-write kill: %v", key, err)
+		}
+		var got payload
+		if err := json.Unmarshal(raw, &got); err != nil {
+			t.Fatal(err)
+		}
+		if got.Note != key {
+			t.Fatalf("job %s holds record %q", key, got.Note)
+		}
+		// The restarted daemon re-journals the job's next state transition.
+		if err := Save(path, "server-job", 1, payload{Round: 2, Note: key}); err != nil {
+			t.Fatalf("re-journal %s: %v", key, err)
+		}
+	}
+}
+
 func TestLoadRejectsSkew(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "ck.json")

@@ -84,6 +84,27 @@ func (e *engine) maybeCheckpoint(round, window int) {
 	if e.o.Checkpoint == "" || round%e.o.CheckpointEvery != 0 {
 		return
 	}
+	e.saveCheckpoint(round, window)
+}
+
+// forceCheckpoint writes the search state regardless of the interval — the
+// engine's last act on an interrupt, so a gracefully-drained search resumes
+// from the exact round it stopped at instead of re-executing everything
+// since the last periodic write. Interrupts before the first completed
+// round have no state worth persisting and are skipped.
+func (e *engine) forceCheckpoint(round, window int) {
+	if e.o.Checkpoint == "" || round < 1 {
+		return
+	}
+	e.saveCheckpoint(round, window)
+}
+
+// saveCheckpoint flushes the caller's journal (Options.CheckpointFlush)
+// and then persists the state for the given completed round.
+func (e *engine) saveCheckpoint(round, window int) {
+	if e.o.CheckpointFlush != nil {
+		e.o.CheckpointFlush(round)
+	}
 	st := e.snapshotState(round, window)
 	if err := checkpoint.Save(e.o.Checkpoint, searchKind, searchVersion, st); err != nil {
 		if e.report.CheckpointError == "" {
@@ -93,7 +114,14 @@ func (e *engine) maybeCheckpoint(round, window int) {
 }
 
 // snapshotState captures the engine's mutable state in serializable form.
+// The report is snapshotted with Interrupted cleared: the flag describes
+// the dying run, not the checkpointed state, and the forced final write on
+// interrupt happens after the engine marked the report — persisting the
+// flag would make the resumed run believe it too was interrupted and
+// suppress its trace outcome.
 func (e *engine) snapshotState(round, window int) *searchState {
+	rep := *e.report
+	rep.Interrupted = false
 	st := &searchState{
 		Target: e.t.ID, Strategy: e.o.Strategy, Seed: e.o.Seed,
 		Round: round, Window: window,
@@ -101,7 +129,7 @@ func (e *engine) snapshotState(round, window int) *searchState {
 		FaultClasses: e.classList(),
 		Priorities:   make([]int, len(e.obs)),
 		Tried:        map[string][]int{},
-		Report:       e.report,
+		Report:       &rep,
 	}
 	if len(st.FaultClasses) == 1 && st.FaultClasses[0] == ClassSite {
 		st.FaultClasses = nil // canonical site-only form, compatible with pre-env checkpoints
@@ -119,6 +147,22 @@ func (e *engine) snapshotState(round, window int) *searchState {
 		st.Tried[s.id] = s.tried.Occurrences()
 	}
 	return st
+}
+
+// CheckpointRound reports the completed round recorded by the search
+// checkpoint at path. The server's crash recovery uses it to align its
+// external trace journal with the checkpoint before resuming: the journal
+// flushes strictly before each checkpoint write, so after a kill it may
+// run ahead of the checkpoint and must be trimmed back to this round. ok
+// is false when the file is missing, corrupt, or from a different
+// checkpoint version — Resume would reject it anyway, so callers treat
+// that as "start fresh".
+func CheckpointRound(path string) (round int, ok bool) {
+	st, err := loadSearchState(path)
+	if err != nil {
+		return 0, false
+	}
+	return st.Round, true
 }
 
 // loadSearchState reads and decodes an explorer checkpoint.

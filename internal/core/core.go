@@ -18,6 +18,7 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"sort"
 	"time"
 
@@ -169,6 +170,17 @@ type Options struct {
 	// to the same run uninterrupted.
 	Checkpoint      string
 	CheckpointEvery int // rounds between checkpoint writes; default 10
+
+	// CheckpointFlush, when non-nil alongside Checkpoint, is invoked
+	// immediately BEFORE each checkpoint write — periodic or the forced
+	// final write on interrupt — with the round the checkpoint will
+	// record. External journals (the server's buffered trace WAL) flush
+	// their per-round state here, so on disk the journal is always at or
+	// ahead of the checkpoint: a crash between the flush and the write
+	// loses only the newer checkpoint, never journaled events, and
+	// recovery trims the journal back to whatever round the surviving
+	// checkpoint names.
+	CheckpointFlush func(round int)
 
 	// EventBudget caps the DES events of a single trial run. A livelocked
 	// target (a zero-delay self-scheduling loop) never advances virtual
@@ -356,6 +368,24 @@ func medianDuration(rounds []Round, f func(Round) time.Duration) time.Duration {
 	}
 	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
 	return vals[len(vals)/2]
+}
+
+// CanonicalReport renders a report as canonical JSON with every wall-clock
+// measurement (and the best-effort checkpoint error) zeroed — the only
+// fields two executions of the same deterministic search can disagree on.
+// Any two runs of one (Target, Options) pair, however interrupted, resumed
+// or scheduled, produce byte-identical canonical reports; the server's
+// soak and crash-recovery gates compare exactly these bytes.
+func CanonicalReport(r *Report) ([]byte, error) {
+	cp := *r
+	cp.Elapsed, cp.FreeRunTime = 0, 0
+	cp.CheckpointError = ""
+	cp.RoundLog = make([]Round, len(r.RoundLog))
+	for i, rd := range r.RoundLog {
+		rd.InitTime, rd.RunTime, rd.DecideTime = 0, 0, 0
+		cp.RoundLog[i] = rd
+	}
+	return json.Marshal(&cp)
 }
 
 // Reproduce searches for an injection that satisfies the target's oracle.

@@ -41,6 +41,7 @@ func (e *engine) feedbackLoop(spec feedbackSpec) {
 	}
 	for round := e.startRound + 1; round <= e.o.MaxRounds; round++ {
 		if e.interrupted(round) {
+			e.forceCheckpoint(round-1, window)
 			return
 		}
 		initStart := time.Now()
@@ -87,9 +88,11 @@ func (e *engine) feedbackLoop(spec feedbackSpec) {
 
 		a := e.attemptRound(round, e.roundPlan(candidates), initTime, window, rootRank)
 		if isInterrupted(a.err) {
-			// Cancelled mid-trial: the round is not recorded, so resume
-			// re-executes it from the last checkpoint.
+			// Cancelled mid-trial: the round is not recorded. The forced
+			// checkpoint persists the state through round-1, so resume
+			// re-executes only this round.
 			e.report.Interrupted = true
+			e.forceCheckpoint(round-1, window)
 			return
 		}
 		res, rd := a.res, a.rd

@@ -1,0 +1,176 @@
+package core_test
+
+// Tests for the server-facing checkpoint extensions: the forced final
+// checkpoint an interrupted search writes (so a drained daemon resumes
+// from the exact round it stopped at, not the last periodic write), the
+// CheckpointFlush ordering contract (journal flush strictly before the
+// state write), and concurrent Resume safety.
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"anduril/internal/core"
+	"anduril/internal/trace"
+)
+
+// TestInterruptOffBoundaryWritesFinalCheckpoint kills a search at a round
+// that is NOT a multiple of CheckpointEvery. Before the forced final
+// write, no checkpoint would exist at all (round 5, every 10); with it,
+// the resumed run must continue from round 6 and the concatenated trace
+// must be byte-identical to the uninterrupted run — the property the
+// daemon's graceful drain depends on.
+func TestInterruptOffBoundaryWritesFinalCheckpoint(t *testing.T) {
+	tgt := target(t, "f4")
+	base := core.Options{Strategy: core.FullFeedback, Seed: 1, Window: 1}
+
+	var full trace.Memory
+	optsFull := base
+	optsFull.Trace = &full
+	repFull := core.Reproduce(tgt, optsFull)
+	if !repFull.Reproduced || repFull.Rounds <= 5 {
+		t.Fatalf("fixture must reproduce after round 5; got reproduced=%v rounds=%d",
+			repFull.Reproduced, repFull.Rounds)
+	}
+
+	ck := filepath.Join(t.TempDir(), "search.ck.json")
+	var part trace.Memory
+	optsKill := base
+	optsKill.Trace = &part
+	optsKill.Checkpoint = ck
+	optsKill.CheckpointEvery = 10 // no periodic write lands before the kill
+	optsKill.StopAfterRound = 5
+	repKill := core.Reproduce(tgt, optsKill)
+	if !repKill.Interrupted || repKill.Rounds != 5 {
+		t.Fatalf("killed run: interrupted=%v rounds=%d, want true/5", repKill.Interrupted, repKill.Rounds)
+	}
+
+	var rest trace.Memory
+	optsResume := base
+	optsResume.Trace = &rest
+	optsResume.Checkpoint = ck
+	optsResume.CheckpointEvery = 10
+	repRes, err := core.Resume(tgt, optsResume, ck)
+	if err != nil {
+		t.Fatalf("resume from forced final checkpoint: %v", err)
+	}
+	if !repRes.Reproduced {
+		t.Fatal("resumed run did not reproduce")
+	}
+
+	got := append(lines(part.Events), lines(rest.Events)...)
+	want := lines(full.Events)
+	if len(got) != len(want) {
+		t.Fatalf("concatenated trace has %d events, full run %d — resume did not continue from the interrupted round", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("trace diverges at event %d:\n- %s\n+ %s", i+1, want[i], got[i])
+		}
+	}
+	if a, b := normalized(t, repFull), normalized(t, repRes); a != b {
+		t.Fatalf("resumed report differs from uninterrupted report:\n%s\n%s", a, b)
+	}
+}
+
+// TestCheckpointFlushRunsBeforeEveryWrite pins the ordering contract the
+// server's trace WAL relies on: the flush hook fires immediately before
+// each checkpoint write — periodic and final — so on disk the journal is
+// never behind the checkpoint. The hook loads the checkpoint file as it
+// fires; what it reads must always be the PREVIOUS state (or nothing),
+// never the round being flushed.
+func TestCheckpointFlushRunsBeforeEveryWrite(t *testing.T) {
+	tgt := target(t, "f4")
+	ck := filepath.Join(t.TempDir(), "search.ck.json")
+
+	var flushed []int
+	opts := core.Options{
+		Strategy: core.FullFeedback, Seed: 1, Window: 1,
+		Checkpoint: ck, CheckpointEvery: 2, StopAfterRound: 5,
+		CheckpointFlush: func(round int) {
+			flushed = append(flushed, round)
+		},
+	}
+	rep := core.Reproduce(tgt, opts)
+	if !rep.Interrupted {
+		t.Fatal("run not interrupted")
+	}
+	// Rounds 2 and 4 are periodic writes; round 5 is the forced final one.
+	want := []int{2, 4, 5}
+	if len(flushed) != len(want) {
+		t.Fatalf("flush fired for rounds %v, want %v", flushed, want)
+	}
+	for i, r := range want {
+		if flushed[i] != r {
+			t.Fatalf("flush fired for rounds %v, want %v", flushed, want)
+		}
+	}
+}
+
+// TestConcurrentResumeSharesNothing resumes two distinct checkpoints of
+// the SAME Target concurrently (run under -race): the read-only Target
+// contract must hold through the Resume path exactly as it does for
+// Reproduce, and each resumed search must produce the identical report an
+// uninterrupted run of its options would.
+func TestConcurrentResumeSharesNothing(t *testing.T) {
+	tgt := target(t, "f4")
+	base := core.Options{Strategy: core.FullFeedback, Seed: 1, Window: 1}
+
+	full := core.Reproduce(tgt, base)
+	if !full.Reproduced {
+		t.Fatal("baseline not reproduced")
+	}
+	wantCanon, err := core.CanonicalReport(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two checkpoints of the same search, interrupted at different rounds.
+	dir := t.TempDir()
+	cks := make([]string, 2)
+	for i, stop := range []int{3, 5} {
+		cks[i] = filepath.Join(dir, "ck", "job", "search.ck."+string(rune('a'+i))+".json")
+		if err := mkdirFor(cks[i]); err != nil {
+			t.Fatal(err)
+		}
+		opts := base
+		opts.Checkpoint = cks[i]
+		opts.CheckpointEvery = 1
+		opts.StopAfterRound = stop
+		if rep := core.Reproduce(tgt, opts); !rep.Interrupted {
+			t.Fatalf("checkpoint %d: run not interrupted", i)
+		}
+	}
+
+	var wg sync.WaitGroup
+	reports := make([]*core.Report, len(cks))
+	errs := make([]error, len(cks))
+	for i := range cks {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			opts := base
+			opts.Checkpoint = cks[i]
+			opts.CheckpointEvery = 1
+			reports[i], errs[i] = core.Resume(tgt, opts, cks[i])
+		}(i)
+	}
+	wg.Wait()
+	for i := range cks {
+		if errs[i] != nil {
+			t.Fatalf("concurrent resume %d: %v", i, errs[i])
+		}
+		canon, err := core.CanonicalReport(reports[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(canon) != string(wantCanon) {
+			t.Fatalf("concurrent resume %d report differs from uninterrupted run", i)
+		}
+	}
+}
+
+// mkdirFor creates the parent directory of path.
+func mkdirFor(path string) error { return os.MkdirAll(filepath.Dir(path), 0o755) }

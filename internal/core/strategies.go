@@ -113,6 +113,7 @@ func init() {
 func (e *engine) enumerativeLoop(queue []inject.Instance) {
 	for round := e.startRound + 1; round <= e.o.MaxRounds && round <= len(queue); round++ {
 		if e.interrupted(round) {
+			e.forceCheckpoint(round-1, 1)
 			return
 		}
 		cand := queue[round-1]
@@ -120,6 +121,7 @@ func (e *engine) enumerativeLoop(queue []inject.Instance) {
 		a := e.attemptRound(round, inject.Exact(cand), 0, 1, 0)
 		if isInterrupted(a.err) {
 			e.report.Interrupted = true
+			e.forceCheckpoint(round-1, 1)
 			return
 		}
 		rd := a.rd

@@ -1,0 +1,113 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsEveryTask(t *testing.T) {
+	p := NewPool(4, nil)
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 100; i++ {
+		wg.Add(1)
+		if !p.Submit(func() { n.Add(1); wg.Done() }) {
+			t.Fatal("open pool rejected a task")
+		}
+	}
+	wg.Wait()
+	p.Shutdown()
+	if n.Load() != 100 {
+		t.Fatalf("ran %d tasks, want 100", n.Load())
+	}
+}
+
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := NewPool(workers, nil)
+	defer p.Shutdown()
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		p.Submit(func() {
+			defer wg.Done()
+			c := cur.Add(1)
+			for {
+				old := peak.Load()
+				if c <= old || peak.CompareAndSwap(old, c) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+		})
+	}
+	wg.Wait()
+	if got := peak.Load(); got > workers {
+		t.Fatalf("observed %d concurrent tasks, pool has %d workers", got, workers)
+	}
+}
+
+func TestPoolIsolatesPanics(t *testing.T) {
+	var panics atomic.Int64
+	p := NewPool(2, func(any) { panics.Add(1) })
+	var wg sync.WaitGroup
+	var ok atomic.Int64
+	for i := 0; i < 20; i++ {
+		i := i
+		wg.Add(1)
+		p.Submit(func() {
+			defer wg.Done()
+			if i%4 == 0 {
+				panic("poisoned job")
+			}
+			ok.Add(1)
+		})
+	}
+	wg.Wait()
+	p.Shutdown()
+	if panics.Load() != 5 {
+		t.Fatalf("panic hook fired %d times, want 5", panics.Load())
+	}
+	if ok.Load() != 15 {
+		t.Fatalf("%d healthy tasks ran, want 15 — a panic killed a worker", ok.Load())
+	}
+}
+
+func TestPoolShutdownDiscardsQueueWaitsForInflight(t *testing.T) {
+	p := NewPool(1, nil)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var finished atomic.Bool
+	p.Submit(func() {
+		close(started)
+		<-release
+		finished.Store(true)
+	})
+	<-started
+	var ran atomic.Int64
+	for i := 0; i < 10; i++ {
+		p.Submit(func() { ran.Add(1) })
+	}
+	done := make(chan struct{})
+	go func() { p.Shutdown(); close(done) }()
+	select {
+	case <-done:
+		t.Fatal("Shutdown returned while a task was in flight")
+	case <-time.After(10 * time.Millisecond):
+	}
+	close(release)
+	<-done
+	if !finished.Load() {
+		t.Fatal("in-flight task did not finish before Shutdown returned")
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d queued tasks ran after Shutdown, want 0 (discarded)", ran.Load())
+	}
+	if p.Submit(func() {}) {
+		t.Fatal("closed pool accepted a task")
+	}
+}

@@ -1,0 +1,80 @@
+package server
+
+import (
+	"context"
+	"time"
+)
+
+// Retry backoff. The schedule must be deterministic — the daemon's whole
+// contract is that re-running the same job set reproduces the same
+// journal, so scheduling decisions may not consult the wall clock or a
+// process-global RNG. Backoff is a pure function: the delay before retry
+// attempt n of a job is derived from the job's own seed stream (seed and
+// key fed through splitmix64), giving exponential growth with
+// deterministic jitter. Two daemon runs over the same jobs journal
+// identical retry schedules in virtual time; only the Clock that
+// realizes the delays touches real time, and tests substitute it.
+
+const (
+	backoffBase = 100 * time.Millisecond
+	backoffCap  = 5 * time.Second
+)
+
+// Backoff returns the delay to schedule before retry attempt n (1-based)
+// of the job with the given master seed and key. The delay is
+// base·2^(n-1) capped at backoffCap, jittered deterministically into
+// [base/2, base]: enough spread to de-synchronize a burst of failing
+// jobs, with no randomness source beyond the job's identity.
+func Backoff(seed int64, key string, attempt int) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	base := backoffBase << uint(attempt-1)
+	if base <= 0 || base > backoffCap {
+		base = backoffCap
+	}
+	x := splitmix64(uint64(seed) ^ fnv64(key) ^ uint64(attempt)*0x9E3779B97F4A7C15)
+	half := base / 2
+	return half + time.Duration(x%uint64(half+1))
+}
+
+// splitmix64 is the standard 64-bit mixer (Steele et al.): a bijection
+// with strong avalanche, so consecutive attempt numbers map to
+// uncorrelated jitter.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// fnv64 hashes a job key (FNV-1a) into the jitter derivation, so equal
+// seeds on different jobs still jitter apart.
+func fnv64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Clock realizes scheduled delays. The daemon uses the real clock; tests
+// substitute a virtual one that records the schedule instead of
+// sleeping, keeping retry tests instant and the asserted schedules exact.
+type Clock interface {
+	// Sleep blocks for d or until ctx is cancelled, whichever is first.
+	Sleep(ctx context.Context, d time.Duration)
+}
+
+// realClock sleeps on the wall clock.
+type realClock struct{}
+
+func (realClock) Sleep(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}

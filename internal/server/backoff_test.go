@@ -1,0 +1,73 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBackoffIsPure(t *testing.T) {
+	for attempt := 1; attempt <= 8; attempt++ {
+		a := Backoff(42, "jobkey", attempt)
+		b := Backoff(42, "jobkey", attempt)
+		if a != b {
+			t.Fatalf("Backoff(42, jobkey, %d) differed across calls: %s vs %s", attempt, a, b)
+		}
+	}
+}
+
+func TestBackoffBoundsAndGrowth(t *testing.T) {
+	prevBase := time.Duration(0)
+	for attempt := 1; attempt <= 12; attempt++ {
+		d := Backoff(7, "k", attempt)
+		base := backoffBase << uint(attempt-1)
+		if base <= 0 || base > backoffCap {
+			base = backoffCap
+		}
+		if d < base/2 || d > base {
+			t.Fatalf("attempt %d: delay %s outside [%s, %s]", attempt, d, base/2, base)
+		}
+		if base < prevBase {
+			t.Fatalf("attempt %d: base shrank", attempt)
+		}
+		prevBase = base
+	}
+	if d := Backoff(7, "k", 100); d > backoffCap {
+		t.Fatalf("attempt 100: delay %s above cap %s", d, backoffCap)
+	}
+}
+
+// Different jobs (key or seed) must jitter apart even on the same
+// attempt number — synchronized retry herds are what the jitter is for.
+func TestBackoffJittersAcrossJobs(t *testing.T) {
+	seen := map[time.Duration]bool{}
+	for _, key := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		seen[Backoff(1, key, 3)] = true
+	}
+	if len(seen) < 4 {
+		t.Fatalf("8 distinct keys produced only %d distinct delays", len(seen))
+	}
+	if Backoff(1, "same", 2) == Backoff(2, "same", 2) && Backoff(1, "same", 3) == Backoff(2, "same", 3) {
+		t.Fatal("seed does not influence the jitter stream")
+	}
+}
+
+// virtualClock records the schedule instead of sleeping: retry tests run
+// instantly and assert the exact sequence of delays.
+type virtualClock struct {
+	mu     sync.Mutex
+	sleeps []time.Duration
+}
+
+func (c *virtualClock) Sleep(ctx context.Context, d time.Duration) {
+	c.mu.Lock()
+	c.sleeps = append(c.sleeps, d)
+	c.mu.Unlock()
+}
+
+func (c *virtualClock) schedule() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]time.Duration(nil), c.sleeps...)
+}

@@ -1,0 +1,73 @@
+package server
+
+// Job lifecycle. A job moves through a small state machine, and every
+// transition is journaled durably (job.json is an atomic checkpoint
+// envelope) BEFORE it takes effect in memory, so a kill at any instant
+// leaves a record the next daemon start can act on:
+//
+//	queued  ──start──▶ running ──success──▶ done
+//	  ▲                  │ │
+//	  │   restart        │ └─deterministic failure───▶ failed
+//	  └──(re-admit)──────┘ └─transient failure ×N──▶ failed
+//
+//   - queued: journaled and waiting for a worker. Restart re-admits it.
+//   - running: a worker is executing the search (or was, when the
+//     daemon died — restart demotes running back to queued and the
+//     search resumes from its last checkpoint).
+//   - done: the search finished; report.json holds the final report,
+//     trace.jsonl the complete trace. Terminal.
+//   - failed: the search could not produce a report — a deterministic
+//     failure (the free run itself fails, so retrying cannot help) or
+//     a transient one (executor panic, journal I/O error) that survived
+//     MaxAttempts retries. Terminal; Error says why.
+//
+// A graceful drain interrupts running jobs; they keep state "running"
+// in the journal (their final checkpoint was just forced by the engine)
+// and the next start re-admits and resumes them.
+
+// Job states.
+const (
+	StateQueued  = "queued"
+	StateRunning = "running"
+	StateDone    = "done"
+	StateFailed  = "failed"
+)
+
+// Job is the journaled record of one reproduction job. The artifacts —
+// search checkpoint, trace, report — live next to it in the job
+// directory; the record itself carries only identity, lifecycle and
+// result summary.
+type Job struct {
+	// Key is the content address of Spec; it names the job directory.
+	Key string `json:"key"`
+
+	// Spec is the normalized reproduction request.
+	Spec Spec `json:"spec"`
+
+	State string `json:"state"`
+
+	// Submissions counts how many times this spec was submitted; all
+	// submissions past the first deduplicated onto the existing job.
+	Submissions int `json:"submissions"`
+
+	// Attempts counts execution attempts that ended in a transient
+	// failure. RetryBackoffsMS records the deterministic virtual-time
+	// delay (milliseconds) scheduled before each retry — a pure function
+	// of (seed, key, attempt), so two daemon runs over the same job set
+	// journal identical schedules.
+	Attempts        int     `json:"attempts,omitempty"`
+	RetryBackoffsMS []int64 `json:"retry_backoffs_ms,omitempty"`
+
+	// Error describes the latest failure (transient or terminal).
+	Error string `json:"error,omitempty"`
+
+	// Result summary, set when State is done. The full report is in
+	// report.json.
+	Reproduced bool `json:"reproduced,omitempty"`
+	Rounds     int  `json:"rounds,omitempty"`
+}
+
+// Terminal reports whether the job has reached a final state.
+func (j *Job) Terminal() bool {
+	return j.State == StateDone || j.State == StateFailed
+}

@@ -1,0 +1,164 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"anduril/internal/checkpoint"
+)
+
+// Journal file names inside <data>/jobs/<key>/.
+const (
+	jobFile    = "job.json"
+	ckFile     = "search.ck.json"
+	traceFile  = "trace.jsonl"
+	reportFile = "report.json"
+
+	jobKind    = "server-job"
+	jobVersion = 1
+
+	reportKind    = "server-report"
+	reportVersion = 1
+)
+
+// Journal is the daemon's durable job table: one directory per job under
+// <data>/jobs/, each holding the job record plus the search's artifacts.
+// Every record write goes through an atomic checkpoint envelope and is
+// fsynced (file and directories) before Put/Update return, which is what
+// makes an HTTP 202 a promise: an accepted job survives kill -9 and
+// power loss, and the next daemon start finds and finishes it.
+//
+// The in-memory map is a cache of what is on disk, never the other way
+// around — mutations persist first and only then update the map, so a
+// crash between the two merely re-reads the newer truth at next open.
+type Journal struct {
+	dir string // <data>/jobs
+
+	mu   sync.Mutex
+	jobs map[string]*Job
+}
+
+// OpenJournal loads (creating if necessary) the job table under dataDir.
+// Job directories whose record is missing or unreadable are skipped and
+// reported in skipped: the only way to produce one is dying between
+// MkdirAll and the first record write, before the submission was ever
+// acknowledged, so ignoring it loses nothing a client was promised.
+func OpenJournal(dataDir string) (j *Journal, skipped []string, err error) {
+	dir := filepath.Join(dataDir, "jobs")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("server: open journal: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("server: open journal: %w", err)
+	}
+	j = &Journal{dir: dir, jobs: map[string]*Job{}}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		job, err := readJob(filepath.Join(dir, e.Name(), jobFile))
+		if err != nil || job.Key != e.Name() {
+			skipped = append(skipped, e.Name())
+			continue
+		}
+		j.jobs[job.Key] = job
+	}
+	return j, skipped, nil
+}
+
+// readJob loads one job record envelope.
+func readJob(path string) (*Job, error) {
+	raw, err := checkpoint.Load(path, jobKind, jobVersion)
+	if err != nil {
+		return nil, err
+	}
+	job := &Job{}
+	if err := json.Unmarshal(raw, job); err != nil {
+		return nil, fmt.Errorf("server: decode %s: %w", path, err)
+	}
+	return job, nil
+}
+
+// Dir returns the job's directory (which holds its artifacts).
+func (j *Journal) Dir(key string) string { return filepath.Join(j.dir, key) }
+
+// Get returns a copy of the job record, if present.
+func (j *Journal) Get(key string) (Job, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	job, ok := j.jobs[key]
+	if !ok {
+		return Job{}, false
+	}
+	return *job, true
+}
+
+// Jobs returns copies of every record, sorted by key — the journal's
+// single deterministic iteration order, used for restart re-admission
+// and listings.
+func (j *Journal) Jobs() []Job {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]Job, 0, len(j.jobs))
+	for _, job := range j.jobs {
+		out = append(out, *job)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Key < out[b].Key })
+	return out
+}
+
+// Put durably creates a job record (its directory included), then
+// publishes it to the in-memory table.
+func (j *Journal) Put(job Job) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.persistLocked(&job)
+}
+
+// Update applies f to the job record under the journal lock, persists
+// the result durably, and returns the updated copy. If persisting fails
+// the in-memory record keeps its previous value.
+func (j *Journal) Update(key string, f func(*Job)) (Job, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	cur, ok := j.jobs[key]
+	if !ok {
+		return Job{}, fmt.Errorf("server: update unknown job %s", key)
+	}
+	next := *cur
+	f(&next)
+	if err := j.persistLocked(&next); err != nil {
+		return Job{}, err
+	}
+	return next, nil
+}
+
+// persistLocked writes the record durably and installs it in the table.
+// New job directories get the full treatment: MkdirAll, the atomic
+// record write (which fsyncs the job directory), then an fsync of jobs/
+// itself so the directory entry survives power loss too.
+func (j *Journal) persistLocked(job *Job) error {
+	dir := filepath.Join(j.dir, job.Key)
+	_, existed := j.jobs[job.Key]
+	if !existed {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("server: create job dir: %w", err)
+		}
+	}
+	if err := checkpoint.Save(filepath.Join(dir, jobFile), jobKind, jobVersion, job); err != nil {
+		return err
+	}
+	if !existed {
+		if err := checkpoint.SyncDir(j.dir); err != nil {
+			return err
+		}
+	}
+	cp := *job
+	j.jobs[job.Key] = &cp
+	return nil
+}

@@ -1,0 +1,91 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, skipped, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("fresh journal skipped %v", skipped)
+	}
+
+	spec := Spec{Failure: "f4"}.Normalize()
+	job := Job{Key: spec.Key(), Spec: spec, State: StateQueued, Submissions: 1}
+	if err := j.Put(job); err != nil {
+		t.Fatal(err)
+	}
+	updated, err := j.Update(job.Key, func(jb *Job) { jb.State = StateRunning; jb.Attempts = 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if updated.State != StateRunning || updated.Attempts != 2 {
+		t.Fatalf("Update returned %+v", updated)
+	}
+
+	// A reopened journal sees exactly the persisted state.
+	j2, skipped, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 0 {
+		t.Fatalf("reopen skipped %v", skipped)
+	}
+	got, ok := j2.Get(job.Key)
+	if !ok {
+		t.Fatal("job lost across reopen")
+	}
+	if got.State != StateRunning || got.Attempts != 2 || !reflect.DeepEqual(got.Spec, spec) {
+		t.Fatalf("reopened job = %+v", got)
+	}
+}
+
+// A directory without a readable record is the footprint of a death
+// between MkdirAll and the first record write — before the submission
+// was acknowledged. Reopen must skip it, not fail the whole journal.
+func TestJournalSkipsRecordlessDirs(t *testing.T) {
+	dir := t.TempDir()
+	j, _, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{Failure: "f1"}.Normalize()
+	if err := j.Put(Job{Key: spec.Key(), Spec: spec, State: StateQueued, Submissions: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the torn submission next to the good one.
+	if err := os.MkdirAll(filepath.Join(dir, "jobs", "deadbeef"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "jobs", "deadbeef", jobFile), []byte(`{"kind":"serv`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, skipped, err := OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(skipped) != 1 || skipped[0] != "deadbeef" {
+		t.Fatalf("skipped = %v, want [deadbeef]", skipped)
+	}
+	if got := j2.Jobs(); len(got) != 1 || got[0].Key != spec.Key() {
+		t.Fatalf("journal holds %+v, want the one good job", got)
+	}
+}
+
+func TestJournalUpdateUnknownJob(t *testing.T) {
+	j, _, err := OpenJournal(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Update("nope", func(*Job) {}); err == nil {
+		t.Fatal("Update of unknown job succeeded")
+	}
+}

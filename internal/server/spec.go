@@ -1,0 +1,180 @@
+// Package server turns the explorer into a daemon: reproduction as a
+// service. Jobs arrive over HTTP as JSON specs, are journaled durably
+// before they are acknowledged, execute on a bounded worker pool with
+// per-job panic isolation, and checkpoint their search state so that a
+// killed or restarted daemon re-admits every unfinished job and resumes
+// it — producing the byte-identical trace and report the uninterrupted
+// run would have.
+//
+// The durability chain, bottom to top:
+//
+//   - internal/checkpoint writes atomic, fsynced, rename-committed
+//     envelopes (temp file + fsync + rename + parent-dir fsync).
+//   - Each job's record (job.json), search checkpoint (search.ck.json)
+//     and final report (report.json) are such envelopes inside the job's
+//     own directory <data>/jobs/<key>/.
+//   - The trace is a write-ahead journal (trace.jsonl) flushed strictly
+//     BEFORE each checkpoint write via core.Options.CheckpointFlush, so
+//     on disk the trace is always at or ahead of the checkpoint; crash
+//     recovery trims it back to the round the surviving checkpoint names
+//     and the resumed search appends the identical suffix.
+//
+// Jobs are content-addressed: the key is a hash of the normalized spec,
+// so identical submissions — same failure, strategy, seed, fault
+// classes, addressing and bounds — share one directory, one execution
+// and one result, however many clients ask.
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"anduril/internal/core"
+	"anduril/internal/failures"
+)
+
+// Spec is a reproduction request: which failure to reproduce and how to
+// search. The zero value of every field means "the default the anduril
+// CLI would use", and Normalize makes those defaults explicit so that
+// two specs asking for the same search hash to the same job key.
+type Spec struct {
+	// Failure is the dataset id of the failure to reproduce ("f4").
+	// Required; it determines the target system, workload, failure log
+	// and oracle.
+	Failure string `json:"failure"`
+
+	Strategy string `json:"strategy,omitempty"` // default full-feedback
+	Seed     int64  `json:"seed,omitempty"`     // master seed; default 1
+
+	MaxRounds    int `json:"max_rounds,omitempty"`     // round cap; default 500
+	Window       int `json:"window,omitempty"`         // initial flexible window k; default 10
+	Adjust       int `json:"adjust,omitempty"`         // priority adjustment s; default 1
+	RunsPerRound int `json:"runs_per_round,omitempty"` // extra seeds per round; default 1
+
+	// FaultClasses widens the fault space ("site", "env", "pair",
+	// "partial"); empty means the failure's own classes.
+	FaultClasses []string `json:"fault_classes,omitempty"`
+
+	// Addressing is the instance-addressing mode: "occurrence" (default)
+	// or "path".
+	Addressing string `json:"addressing,omitempty"`
+}
+
+// specKeyPrefix versions the key derivation. Bump it if Normalize or the
+// Spec encoding changes meaning, so old job directories are never
+// mistaken for the new scheme's.
+const specKeyPrefix = "anduril-job-v1\n"
+
+// Normalize returns the spec in canonical form: defaults made explicit,
+// fault classes sorted and deduplicated, seed-stream fields untouched.
+// Key and the dedupe machinery only ever see normalized specs.
+func (sp Spec) Normalize() Spec {
+	if sp.Strategy == "" {
+		sp.Strategy = string(core.FullFeedback)
+	}
+	if sp.Seed == 0 {
+		sp.Seed = 1
+	}
+	if sp.MaxRounds == 0 {
+		sp.MaxRounds = 500
+	}
+	if sp.Window == 0 {
+		sp.Window = 10
+	}
+	if sp.Adjust == 0 {
+		sp.Adjust = 1
+	}
+	if sp.RunsPerRound == 0 {
+		sp.RunsPerRound = 1
+	}
+	if sp.Addressing == "" {
+		sp.Addressing = string(core.AddrOccurrence)
+	}
+	if len(sp.FaultClasses) > 0 {
+		classes := append([]string(nil), sp.FaultClasses...)
+		sort.Strings(classes)
+		dedup := classes[:1]
+		for _, c := range classes[1:] {
+			if c != dedup[len(dedup)-1] {
+				dedup = append(dedup, c)
+			}
+		}
+		sp.FaultClasses = dedup
+	} else {
+		sp.FaultClasses = nil
+	}
+	return sp
+}
+
+// Validate checks a normalized spec against the registries and bounds
+// the CLI enforces with usage errors. Invalid specs are rejected at
+// admission — they never become jobs.
+func (sp Spec) Validate() error {
+	if sp.Failure == "" {
+		return fmt.Errorf("spec: failure id required")
+	}
+	if _, ok := failures.ByID(sp.Failure); !ok {
+		return fmt.Errorf("spec: unknown failure %q", sp.Failure)
+	}
+	if !core.StrategyRegistered(core.Strategy(sp.Strategy)) {
+		return fmt.Errorf("spec: unknown strategy %q", sp.Strategy)
+	}
+	if sp.MaxRounds <= 0 {
+		return fmt.Errorf("spec: max_rounds must be positive (got %d)", sp.MaxRounds)
+	}
+	if sp.Window <= 0 {
+		return fmt.Errorf("spec: window must be positive (got %d)", sp.Window)
+	}
+	if sp.Adjust <= 0 {
+		return fmt.Errorf("spec: adjust must be positive (got %d)", sp.Adjust)
+	}
+	if sp.RunsPerRound <= 0 {
+		return fmt.Errorf("spec: runs_per_round must be positive (got %d)", sp.RunsPerRound)
+	}
+	for _, c := range sp.FaultClasses {
+		if !core.ValidFaultClass(c) {
+			return fmt.Errorf("spec: unknown fault class %q", c)
+		}
+	}
+	if !core.ValidAddressing(sp.Addressing) {
+		return fmt.Errorf("spec: unknown addressing mode %q", sp.Addressing)
+	}
+	return nil
+}
+
+// Key is the job's content address: a hex SHA-256 over the normalized
+// spec's canonical JSON. Two submissions asking for the same search —
+// same target, failure log (implied by the failure id), strategy, seed,
+// bounds, fault classes and addressing — produce the same key and
+// therefore share one job, one execution, and one set of artifacts.
+func (sp Spec) Key() string {
+	raw, err := json.Marshal(sp.Normalize())
+	if err != nil {
+		// A Spec is plain data; Marshal cannot fail. Keep the signature
+		// clean and make the impossible loud.
+		panic(fmt.Sprintf("server: encode spec: %v", err))
+	}
+	sum := sha256.Sum256(append([]byte(specKeyPrefix), raw...))
+	return hex.EncodeToString(sum[:])
+}
+
+// Options translates a normalized spec into the exact explorer options
+// the anduril CLI would build for the same flags. The server's executor
+// and any serial comparator (andurilctl soak, the CI gates) MUST both go
+// through this function: report byte-identity across daemon and serial
+// runs depends on the option sets matching exactly.
+func (sp Spec) Options() core.Options {
+	return core.Options{
+		Strategy:     core.Strategy(sp.Strategy),
+		Seed:         sp.Seed,
+		MaxRounds:    sp.MaxRounds,
+		Window:       sp.Window,
+		Adjust:       sp.Adjust,
+		RunsPerRound: sp.RunsPerRound,
+		FaultClasses: sp.FaultClasses,
+		Addressing:   core.Addressing(sp.Addressing),
+	}
+}

@@ -1,0 +1,32 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+// LineMeta decodes the minimal identity of one JSONL trace line — its
+// event type and round — without materializing the full Event. The
+// server's crash recovery uses it to trim a journaled trace back to the
+// round its surviving checkpoint names: the trace WAL flushes strictly
+// before each checkpoint write, so after a kill the file may run AHEAD of
+// the checkpoint (never behind), and the excess whole lines plus any torn
+// final line are cut before the search resumes.
+//
+// ok is false for anything that is not a complete, well-formed event line:
+// a torn tail from a mid-append kill, a blank line, or JSON without an
+// event field.
+func LineMeta(line []byte) (typ EventType, round int, ok bool) {
+	line = bytes.TrimSpace(line)
+	if len(line) == 0 {
+		return "", 0, false
+	}
+	var m struct {
+		Event EventType `json:"event"`
+		Round int       `json:"round"`
+	}
+	if err := json.Unmarshal(line, &m); err != nil || m.Event == "" {
+		return "", 0, false
+	}
+	return m.Event, m.Round, true
+}

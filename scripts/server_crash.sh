@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Crash gate for the reproduction daemon: submit a soak set, then
+# repeatedly SIGKILL the daemon mid-execution and restart it on the same
+# journal, and finally verify the complete set. `andurilctl soak
+# -verify-only` re-derives the identical job set from the seed, so the
+# final phase detects lost jobs (missing from /jobs), duplicated jobs
+# (extra entries or wrong submission counts), and any divergence from a
+# serial run (canonical report bytes and trace bytes must match exactly).
+#
+# -checkpoint-every 1 maximizes the surface: every round boundary is a
+# checkpoint write the kill can land inside. The kill offsets are a fixed
+# stagger, not random — CI must be reproducible — but they drift against
+# the search cadence, so successive kills land at different points of the
+# journal/checkpoint/trace write sequence.
+#
+# Tunables (env): JOBS (default 300), DISTINCT (25), SEED (7),
+# KILLS (6), ADDR (127.0.0.1:18478).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-300}"
+DISTINCT="${DISTINCT:-25}"
+SEED="${SEED:-7}"
+KILLS="${KILLS:-6}"
+ADDR="${ADDR:-127.0.0.1:18478}"
+
+BIN="$(mktemp -d)"
+DATA="$(mktemp -d)"
+LOG="$BIN/server.log"
+
+go build -o "$BIN/anduril-server" ./cmd/anduril-server
+go build -o "$BIN/andurilctl" ./cmd/andurilctl
+
+cleanup() {
+  [ -n "${SRV_PID:-}" ] && kill "$SRV_PID" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+fail() {
+  echo "server_crash: $1; daemon log:" >&2
+  cat "$LOG" >&2
+  exit 1
+}
+
+start_daemon() {
+  "$BIN/anduril-server" -data-dir "$DATA" -addr "$ADDR" \
+    -checkpoint-every 1 >>"$LOG" 2>&1 &
+  SRV_PID=$!
+  for _ in $(seq 1 100); do
+    if "$BIN/andurilctl" health -server "http://$ADDR" >/dev/null 2>&1; then
+      return 0
+    fi
+    if ! kill -0 "$SRV_PID" 2>/dev/null; then
+      fail "daemon died during startup"
+    fi
+    sleep 0.1
+  done
+  fail "daemon never became ready"
+}
+
+start_daemon
+"$BIN/andurilctl" soak -server "http://$ADDR" \
+  -jobs "$JOBS" -distinct "$DISTINCT" -seed "$SEED" -submit-only \
+  || fail "submit phase failed"
+
+# Kill -9 at staggered offsets while the backlog executes. Each restart
+# must re-admit every unfinished job from the journal.
+for i in $(seq 1 "$KILLS"); do
+  sleep "$(( (i * 3) % 5 + 1 ))"
+  kill -9 "$SRV_PID" 2>/dev/null || true
+  wait "$SRV_PID" 2>/dev/null || true
+  echo "server_crash: kill #$i done, restarting"
+  start_daemon
+done
+
+"$BIN/andurilctl" soak -server "http://$ADDR" \
+  -jobs "$JOBS" -distinct "$DISTINCT" -seed "$SEED" -verify-only -timeout 20m \
+  || fail "verify phase failed"
+
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" || fail "final drain exited nonzero"
+SRV_PID=""
+echo "server_crash: OK ($KILLS kills survived, $JOBS submissions verified)"

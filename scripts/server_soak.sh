@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Soak gate for the reproduction daemon: start anduril-server on a fresh
+# journal, push a large mixed job set through it via `andurilctl soak`
+# (many submissions fanned over fewer distinct specs, so dedupe is
+# exercised at scale), and let the ctl verify every finished job against
+# an in-process serial run — state, submission counts, canonical report
+# bytes and trace bytes must all match exactly. Finishes with a SIGTERM
+# drain, which must exit 0.
+#
+# Tunables (env): JOBS (default 1000), DISTINCT (40), SEED (1),
+# ADDR (127.0.0.1:18477).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${JOBS:-1000}"
+DISTINCT="${DISTINCT:-40}"
+SEED="${SEED:-1}"
+ADDR="${ADDR:-127.0.0.1:18477}"
+
+BIN="$(mktemp -d)"
+DATA="$(mktemp -d)"
+LOG="$BIN/server.log"
+
+go build -o "$BIN/anduril-server" ./cmd/anduril-server
+go build -o "$BIN/andurilctl" ./cmd/andurilctl
+
+cleanup() {
+  [ -n "${SRV_PID:-}" ] && kill "$SRV_PID" 2>/dev/null || true
+}
+trap cleanup EXIT
+
+"$BIN/anduril-server" -data-dir "$DATA" -addr "$ADDR" >"$LOG" 2>&1 &
+SRV_PID=$!
+
+# Wait for readiness; dump the daemon log if it never comes up.
+for _ in $(seq 1 100); do
+  if "$BIN/andurilctl" health -server "http://$ADDR" >/dev/null 2>&1; then
+    break
+  fi
+  if ! kill -0 "$SRV_PID" 2>/dev/null; then
+    echo "server_soak: daemon died during startup" >&2
+    cat "$LOG" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+if ! "$BIN/andurilctl" soak -server "http://$ADDR" \
+  -jobs "$JOBS" -distinct "$DISTINCT" -seed "$SEED" -timeout 20m; then
+  echo "server_soak: soak failed; daemon log:" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+
+# Graceful drain must be clean (exit 0).
+kill -TERM "$SRV_PID"
+if ! wait "$SRV_PID"; then
+  echo "server_soak: drain exited nonzero; daemon log:" >&2
+  cat "$LOG" >&2
+  exit 1
+fi
+SRV_PID=""
+echo "server_soak: OK ($JOBS submissions over $DISTINCT specs)"
